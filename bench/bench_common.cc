@@ -1,0 +1,106 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+namespace nvmgc {
+
+const char* GcVariantName(GcVariant variant) {
+  switch (variant) {
+    case GcVariant::kVanilla:
+      return "vanilla";
+    case GcVariant::kWriteCache:
+      return "+writecache";
+    case GcVariant::kAll:
+      return "+all";
+    case GcVariant::kAllAsync:
+      return "+all-async";
+  }
+  return "?";
+}
+
+HeapConfig DefaultHeap(DeviceKind device, bool eden_on_dram) {
+  HeapConfig h;
+  h.region_bytes = 64 * 1024;
+  h.heap_regions = 1024;       // 64 MiB heap.
+  h.eden_regions = 128;        // 8 MiB eden.
+  h.dram_cache_regions = 384;  // Staging + (optionally) DRAM eden.
+  // Long-lived data tenures into the old generation after a few copies and is
+  // reclaimed there by the concurrent-cycle analog; the young copy path then
+  // handles the recent-survivor volume a write cache of heap/32 is sized for.
+  h.tenure_age = 3;
+  h.heap_device = device;
+  h.eden_on_dram = eden_on_dram;
+  return h;
+}
+
+GcOptions MakeGcOptions(GcVariant variant, uint32_t threads, CollectorKind collector) {
+  switch (variant) {
+    case GcVariant::kVanilla:
+      return VanillaOptions(collector, threads);
+    case GcVariant::kWriteCache:
+      return WriteCacheOptions(collector, threads);
+    case GcVariant::kAll:
+      return AllOptimizationsOptions(collector, threads);
+    case GcVariant::kAllAsync: {
+      GcOptions o = AllOptimizationsOptions(collector, threads);
+      o.async_flush = true;
+      return o;
+    }
+  }
+  return VanillaOptions(collector, threads);
+}
+
+WorkloadProfile ScaledProfile(WorkloadProfile profile) {
+  static const double scale = [] {
+    const char* env = std::getenv("NVMGC_BENCH_SCALE");
+    return env != nullptr ? std::atof(env) : 1.0;
+  }();
+  if (scale > 0.0 && scale != 1.0) {
+    profile.total_allocation_bytes =
+        static_cast<size_t>(static_cast<double>(profile.total_allocation_bytes) * scale);
+  }
+  return profile;
+}
+
+int BenchRepetitions() {
+  static const int reps = [] {
+    const char* env = std::getenv("NVMGC_BENCH_REPS");
+    const int v = env != nullptr ? std::atoi(env) : 2;
+    return v >= 1 ? v : 1;
+  }();
+  return reps;
+}
+
+WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
+                         const GcOptions& gc) {
+  return RunWorkload(ScaledProfile(profile), heap, gc);
+}
+
+WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVariant variant,
+                       uint32_t threads, CollectorKind collector, bool eden_on_dram) {
+  const int reps = BenchRepetitions();
+  WorkloadResult avg;
+  double bw_sum = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WorkloadProfile p = profile;
+    p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
+    const WorkloadResult r = RunWorkload(ScaledProfile(p), DefaultHeap(device, eden_on_dram),
+                                         MakeGcOptions(variant, threads, collector));
+    avg.name = r.name;
+    avg.total_ns += r.total_ns;
+    avg.gc_ns += r.gc_ns;
+    avg.app_ns += r.app_ns;
+    avg.gc_count += r.gc_count;
+    avg.bytes_allocated += r.bytes_allocated;
+    bw_sum += r.gc_bandwidth_mbps;
+  }
+  avg.total_ns /= reps;
+  avg.gc_ns /= reps;
+  avg.app_ns /= reps;
+  avg.gc_count /= reps;
+  avg.bytes_allocated /= reps;
+  avg.gc_bandwidth_mbps = bw_sum / reps;
+  return avg;
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,73 @@
+// Figure 5: GC time for all 26 applications under five configurations:
+//   vanilla (NVM) / +writecache / +all / vanilla-dram / young-gen-dram.
+//
+// Paper results this should reproduce in shape: 23 of 26 applications improve;
+// +all reduces GC time 1.69x on average (up to 2.69x); the write cache alone
+// gives 1.17x on average (up to 2.08x); the DRAM:NVM GC gap shrinks from
+// 4.21x to 2.28x; young-gen-dram beats the optimizations for most apps.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/renaissance.h"
+
+namespace nvmgc {
+namespace {
+
+constexpr uint32_t kGcThreads = 20;
+
+int Main() {
+  std::printf("=== Figure 5: GC time per application and configuration (%u GC threads) ===\n\n",
+              kGcThreads);
+  TablePrinter table({"app", "vanilla (s)", "+writecache (s)", "+all (s)", "vanilla-dram (s)",
+                      "young-gen-dram (s)", "+all speedup", "+wc speedup"});
+  double sum_all = 0.0;
+  double sum_wc = 0.0;
+  double max_all = 0.0;
+  double max_wc = 0.0;
+  double sum_gap_vanilla = 0.0;
+  double sum_gap_opt = 0.0;
+  int improved = 0;
+  const auto profiles = AllApplicationProfiles();
+  for (const auto& profile : profiles) {
+    const auto vanilla = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads);
+    const auto wc = RunOnce(profile, DeviceKind::kNvm, GcVariant::kWriteCache, kGcThreads);
+    const auto all = RunOnce(profile, DeviceKind::kNvm, GcVariant::kAll, kGcThreads);
+    const auto dram = RunOnce(profile, DeviceKind::kDram, GcVariant::kVanilla, kGcThreads);
+    const auto young_dram = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads,
+                                    CollectorKind::kG1, /*eden_on_dram=*/true);
+    const double speedup_all = vanilla.gc_seconds() / all.gc_seconds();
+    const double speedup_wc = vanilla.gc_seconds() / wc.gc_seconds();
+    sum_all += speedup_all;
+    sum_wc += speedup_wc;
+    max_all = std::max(max_all, speedup_all);
+    max_wc = std::max(max_wc, speedup_wc);
+    sum_gap_vanilla += vanilla.gc_seconds() / dram.gc_seconds();
+    sum_gap_opt += all.gc_seconds() / dram.gc_seconds();
+    if (speedup_all > 1.02) {
+      ++improved;
+    }
+    table.AddRow({profile.name, FormatDouble(vanilla.gc_seconds(), 3),
+                  FormatDouble(wc.gc_seconds(), 3), FormatDouble(all.gc_seconds(), 3),
+                  FormatDouble(dram.gc_seconds(), 3), FormatDouble(young_dram.gc_seconds(), 3),
+                  FormatDouble(speedup_all, 2) + "x", FormatDouble(speedup_wc, 2) + "x"});
+  }
+  table.Print();
+  const double n = static_cast<double>(profiles.size());
+  std::printf("\napps improved by +all:            %d of %zu (paper: 23 of 26)\n", improved,
+              profiles.size());
+  std::printf("+all GC speedup:                  avg %.2fx, max %.2fx (paper: 1.69x avg, 2.69x max)\n",
+              sum_all / n, max_all);
+  std::printf("+writecache GC speedup:           avg %.2fx, max %.2fx (paper: 1.17x avg, 2.08x max)\n",
+              sum_wc / n, max_wc);
+  std::printf("DRAM:NVM GC gap vanilla -> +all:  %.2fx -> %.2fx (paper: 4.21x -> 2.28x)\n",
+              sum_gap_vanilla / n, sum_gap_opt / n);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmgc
+
+int main() { return nvmgc::Main(); }

@@ -1,0 +1,84 @@
+// Figure 7: read/write NVM bandwidth during one GC pause, optimized vs
+// vanilla, for page-rank, naive-bayes, and akka-uct.
+//
+// Expected shapes (Section 5.3):
+//   * optimized runs show a read-mostly sub-phase (write bandwidth near zero)
+//     followed by a short write-only burst whose write bandwidth approaches
+//     the non-temporal ceiling;
+//   * vanilla runs mix reads and writes throughout at a much lower total;
+//   * naive-bayes reaches the highest read bandwidth (sequential primitive
+//     array copies); akka-uct stays moderate due to load imbalance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/vm.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/renaissance.h"
+#include "src/workloads/synthetic_app.h"
+
+namespace nvmgc {
+namespace {
+
+constexpr uint64_t kBucketNs = 500'000;  // 0.5 ms buckets.
+
+void RunCase(const std::string& app, GcVariant variant) {
+  VmOptions options;
+  options.heap = DefaultHeap(DeviceKind::kNvm);
+  options.gc = MakeGcOptions(variant, 20);
+  Vm vm(options);
+  WorkloadProfile profile = ScaledProfile(RenaissanceProfile(app));
+  vm.heap_device().StartRecording(0, kBucketNs, 1 << 17);
+  SyntheticApp sapp(&vm, profile);
+  sapp.Run();
+  vm.heap_device().StopRecording();
+
+  // Pick the longest pause and print the bandwidth inside it.
+  const GcCycleStats* longest = nullptr;
+  for (const auto& c : vm.gc_stats().cycles()) {
+    if (longest == nullptr || c.pause_ns > longest->pause_ns) {
+      longest = &c;
+    }
+  }
+  std::printf("--- %s (%s): longest pause %.1f ms ---\n", app.c_str(), GcVariantName(variant),
+              longest != nullptr ? static_cast<double>(longest->pause_ns) / 1e6 : 0.0);
+  if (longest == nullptr) {
+    return;
+  }
+  const auto series = vm.heap_device().RecordedSeries();
+  TablePrinter table({"t in pause (ms)", "read (MB/s)", "write (MB/s)"});
+  double peak_write = 0.0;
+  double peak_read = 0.0;
+  size_t rows = 0;
+  for (const auto& s : series) {
+    if (s.time_ns + kBucketNs <= longest->start_ns ||
+        s.time_ns >= longest->start_ns + longest->pause_ns) {
+      continue;
+    }
+    peak_write = std::max(peak_write, s.write_mbps);
+    peak_read = std::max(peak_read, s.read_mbps);
+    if (rows < 40) {
+      table.AddRow({FormatDouble(static_cast<double>(s.time_ns - longest->start_ns) / 1e6, 1),
+                    FormatDouble(s.read_mbps, 0), FormatDouble(s.write_mbps, 0)});
+      ++rows;
+    }
+  }
+  table.Print();
+  std::printf("peak read %.0f MB/s, peak write %.0f MB/s\n\n", peak_read, peak_write);
+}
+
+int Main() {
+  std::printf("=== Figure 7: split NVM bandwidth during GC ===\n\n");
+  for (const std::string& app : {"page-rank", "naive-bayes", "akka-uct"}) {
+    RunCase(app, GcVariant::kAll);
+    RunCase(app, GcVariant::kVanilla);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmgc
+
+int main() { return nvmgc::Main(); }

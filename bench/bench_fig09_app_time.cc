@@ -1,0 +1,47 @@
+// Figure 9: application execution time, optimized vs vanilla G1 on NVM.
+//
+// Expected shape (Section 5.4): most Renaissance applications change little
+// (GC is a small share of their time); GC-intensive ones (scala-stm-bench7)
+// and all Spark applications improve, Spark by 3.2%-6.9%.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/renaissance.h"
+
+namespace nvmgc {
+namespace {
+
+constexpr uint32_t kGcThreads = 20;
+
+int Main() {
+  std::printf("=== Figure 9: application time, G1-Opt vs G1-Vanilla (NVM heap) ===\n\n");
+  TablePrinter table({"app", "vanilla (s)", "optimized (s)", "improvement"});
+  const auto spark = SparkProfiles();
+  double spark_min = 1e9;
+  double spark_max = -1e9;
+  for (const auto& profile : AllApplicationProfiles()) {
+    const auto vanilla = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads);
+    const auto opt = RunOnce(profile, DeviceKind::kNvm, GcVariant::kAll, kGcThreads);
+    const double improvement =
+        (vanilla.total_seconds() - opt.total_seconds()) / vanilla.total_seconds() * 100.0;
+    for (const auto& s : spark) {
+      if (s.name == profile.name) {
+        spark_min = std::min(spark_min, improvement);
+        spark_max = std::max(spark_max, improvement);
+      }
+    }
+    table.AddRow({profile.name, FormatDouble(vanilla.total_seconds(), 3),
+                  FormatDouble(opt.total_seconds(), 3), FormatDouble(improvement, 1) + "%"});
+  }
+  table.Print();
+  std::printf("\nSpark execution-time improvement: %.1f%% - %.1f%% (paper: 3.2%% - 6.9%%)\n",
+              spark_min, spark_max);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmgc
+
+int main() { return nvmgc::Main(); }

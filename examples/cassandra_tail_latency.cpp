@@ -1,0 +1,60 @@
+// Drives the Cassandra-style key-value service with an open-loop load and
+// shows how GC pauses shape the latency tail — and how the NVM-aware
+// collector shortens it (paper Figure 8).
+//
+//   ./build/examples/example_cassandra_tail_latency [kqps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/runtime/vm.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/cassandra.h"
+
+namespace {
+
+using namespace nvmgc;
+
+LatencyResult RunPhase(const GcOptions& gc, double kqps, double write_fraction,
+                       size_t* gcs_out) {
+  VmOptions options;
+  options.heap.region_bytes = 64 * 1024;
+  options.heap.heap_regions = 1024;
+  options.heap.eden_regions = 128;
+  options.heap.dram_cache_regions = 128;
+  options.heap.heap_device = DeviceKind::kNvm;
+  options.gc = gc;
+  Vm vm(options);
+  CassandraService service(&vm, CassandraConfig{});
+  const uint64_t requests = static_cast<uint64_t>(kqps * 1000.0);  // ~1 simulated second.
+  const LatencyResult r = service.RunPhase(requests, kqps, write_fraction);
+  *gcs_out = vm.gc_count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double kqps = argc > 1 ? std::atof(argv[1]) : 70.0;
+  std::printf("cassandra-stress analog at %.0f kQPS offered load (simulated)\n\n", kqps);
+
+  TablePrinter table({"phase", "collector", "p50 (ms)", "p95 (ms)", "p99 (ms)", "GCs"});
+  for (double write_fraction : {1.0, 0.0}) {
+    const char* phase = write_fraction == 1.0 ? "write" : "read";
+    size_t gcs = 0;
+    const LatencyResult vanilla =
+        RunPhase(VanillaOptions(CollectorKind::kG1, 16), kqps, write_fraction, &gcs);
+    table.AddRow({phase, "vanilla G1", FormatDouble(vanilla.p50_ms, 2),
+                  FormatDouble(vanilla.p95_ms, 2), FormatDouble(vanilla.p99_ms, 2),
+                  std::to_string(gcs)});
+    const LatencyResult opt =
+        RunPhase(AllOptimizationsOptions(CollectorKind::kG1, 16), kqps, write_fraction, &gcs);
+    table.AddRow({phase, "NVM-aware G1", FormatDouble(opt.p50_ms, 2),
+                  FormatDouble(opt.p95_ms, 2), FormatDouble(opt.p99_ms, 2),
+                  std::to_string(gcs)});
+  }
+  table.Print();
+  std::printf("\nThe median barely moves (it is service-time bound); the p95/p99 tail is\n"
+              "GC-pause bound and shrinks with the NVM-aware collector.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// GC inspector: run any of the 26 application profiles under any collector
+// configuration and print the full unified-logging-style GC log plus the
+// summary — the workflow a GC engineer would use to study one workload.
+//
+// Usage:
+//   example_gc_inspector [app] [collector] [variant] [threads] [device]
+//     app       one of the 26 profile names (default: page-rank)
+//     collector g1 | ps                      (default: g1)
+//     variant   vanilla | writecache | all | all-async   (default: all)
+//     threads   GC thread count              (default: 16)
+//     device    nvm | dram                   (default: nvm)
+//
+// Example:
+//   ./build/examples/example_gc_inspector naive-bayes g1 vanilla 20 nvm
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/runtime/gc_report.h"
+#include "src/runtime/vm.h"
+#include "src/workloads/renaissance.h"
+#include "src/workloads/synthetic_app.h"
+
+namespace {
+
+using namespace nvmgc;
+
+GcOptions ParseVariant(const char* variant, CollectorKind collector, uint32_t threads) {
+  if (std::strcmp(variant, "vanilla") == 0) {
+    return VanillaOptions(collector, threads);
+  }
+  if (std::strcmp(variant, "writecache") == 0) {
+    return WriteCacheOptions(collector, threads);
+  }
+  if (std::strcmp(variant, "all-async") == 0) {
+    GcOptions o = AllOptimizationsOptions(collector, threads);
+    o.async_flush = true;
+    return o;
+  }
+  return AllOptimizationsOptions(collector, threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* app = argc > 1 ? argv[1] : "page-rank";
+  const CollectorKind collector = argc > 2 && std::strcmp(argv[2], "ps") == 0
+                                      ? CollectorKind::kParallelScavenge
+                                      : CollectorKind::kG1;
+  const char* variant = argc > 3 ? argv[3] : "all";
+  const uint32_t threads = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 16;
+  const DeviceKind device = argc > 5 && std::strcmp(argv[5], "dram") == 0 ? DeviceKind::kDram
+                                                                          : DeviceKind::kNvm;
+
+  VmOptions options;
+  options.heap.region_bytes = 64 * 1024;
+  options.heap.heap_regions = 1024;
+  options.heap.eden_regions = 128;
+  options.heap.dram_cache_regions = 384;
+  options.heap.heap_device = device;
+  options.gc = ParseVariant(variant, collector, threads);
+
+  std::printf("workload %s | collector %s | variant %s | %u GC threads | heap on %s\n\n", app,
+              collector == CollectorKind::kG1 ? "g1" : "ps", variant, threads,
+              device == DeviceKind::kNvm ? "NVM" : "DRAM");
+
+  Vm vm(options);
+  SyntheticApp sapp(&vm, RenaissanceProfile(app));
+  const WorkloadResult result = sapp.Run();
+
+  PrintGcLog(&vm);
+  std::printf("\n");
+  PrintGcSummary(&vm);
+  std::printf("\napplication: %.2f ms app + %.2f ms GC = %.2f ms total (%.1f%% in GC)\n",
+              static_cast<double>(result.app_ns) / 1e6,
+              static_cast<double>(result.gc_ns) / 1e6,
+              static_cast<double>(result.total_ns) / 1e6,
+              static_cast<double>(result.gc_ns) / static_cast<double>(result.total_ns) * 100.0);
+  return 0;
+}

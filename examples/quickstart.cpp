@@ -1,0 +1,81 @@
+// Quickstart: build a VM on simulated NVM, allocate an object graph, trigger
+// collections under every GC configuration, and compare the pause times.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "src/runtime/mutator.h"
+#include "src/runtime/vm.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace nvmgc;
+
+// One simulated JVM: 64 MiB heap on NVM, 8 MiB eden, 16 GC threads.
+VmOptions MakeOptions(const GcOptions& gc) {
+  VmOptions options;
+  options.heap.region_bytes = 64 * 1024;
+  options.heap.heap_regions = 1024;
+  options.heap.eden_regions = 128;
+  options.heap.dram_cache_regions = 128;
+  options.heap.heap_device = DeviceKind::kNvm;  // The -XX:AllocateHeapAt analog.
+  options.gc = gc;
+  return options;
+}
+
+double RunScenario(const GcOptions& gc) {
+  Vm vm(MakeOptions(gc));
+  Mutator* mutator = vm.CreateMutator();
+
+  // A "TreeNode" with two reference fields and a 16-byte payload.
+  const KlassId node = vm.heap().klasses().RegisterRegular("TreeNode", 2, 16);
+
+  // Keep a rolling window of live linked lists while churning garbage; the
+  // eden quota triggers young collections automatically.
+  std::vector<RootHandle> live;
+  for (int round = 0; round < 120; ++round) {
+    const RootHandle root = vm.NewRoot(mutator->AllocateRegular(node));
+    for (int i = 0; i < 3000; ++i) {
+      Address child = mutator->AllocateRegular(node);
+      if (i % 2 == 0) {
+        // Prepend to the list: the whole chain stays reachable from the root.
+        mutator->WriteRef(child, 0, vm.GetRoot(root));
+        vm.SetRoot(root, child);
+      }
+      // The other half is immediate garbage.
+    }
+    live.push_back(root);
+    if (live.size() > 6) {  // Old lists become unreachable.
+      vm.ReleaseRoot(live.front());
+      live.erase(live.begin());
+    }
+  }
+  std::printf("  %zu young GCs, %.2f ms total pause, %llu objects copied\n", vm.gc_count(),
+              static_cast<double>(vm.gc_time_ns()) / 1e6,
+              static_cast<unsigned long long>(vm.gc_stats().Totals().objects_copied));
+  return static_cast<double>(vm.gc_time_ns()) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("nvmgc quickstart: copy-based young GC on simulated Optane\n\n");
+
+  std::printf("vanilla G1 (mixed NVM reads+writes during evacuation):\n");
+  const double vanilla = RunScenario(VanillaOptions(CollectorKind::kG1, 16));
+
+  std::printf("\n+write cache (survivors staged in DRAM, streamed back):\n");
+  const double wc = RunScenario(WriteCacheOptions(CollectorKind::kG1, 16));
+
+  std::printf("\n+all (write cache + header map + non-temporal stores + prefetch):\n");
+  const double all = RunScenario(AllOptimizationsOptions(CollectorKind::kG1, 16));
+
+  std::printf("\nGC pause reduction: +writecache %.2fx, +all %.2fx\n", vanilla / wc,
+              vanilla / all);
+  std::printf("(all times are simulated; see DESIGN.md for the device model)\n");
+  return 0;
+}

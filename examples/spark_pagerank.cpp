@@ -1,0 +1,64 @@
+// Runs the miniature Spark page-rank workload — the paper's flagship
+// GC-hostile application — on DRAM vs NVM, vanilla vs optimized, and prints
+// the execution/GC time split.
+//
+//   ./build/examples/example_spark_pagerank [vertices] [iterations]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/runtime/vm.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/spark.h"
+
+namespace {
+
+using namespace nvmgc;
+
+WorkloadResult Run(DeviceKind device, const GcOptions& gc, const SparkConfig& config) {
+  VmOptions options;
+  options.heap.region_bytes = 64 * 1024;
+  options.heap.heap_regions = 1024;
+  options.heap.eden_regions = 48;  // 3 MiB eden: a memory-hungry configuration.
+  options.heap.dram_cache_regions = 128;
+  options.heap.heap_device = device;
+  options.gc = gc;
+  Vm vm(options);
+  return RunPageRank(&vm, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SparkConfig config;
+  config.vertices = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 30000;
+  config.iterations = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 8;
+
+  std::printf("mini-Spark page-rank: %u vertices, %u iterations (simulated time)\n\n",
+              config.vertices, config.iterations);
+
+  TablePrinter table({"configuration", "total (ms)", "app (ms)", "gc (ms)", "gc share", "GCs"});
+  struct Case {
+    const char* name;
+    DeviceKind device;
+    GcOptions gc;
+  };
+  const Case cases[] = {
+      {"DRAM, vanilla G1", DeviceKind::kDram, VanillaOptions(CollectorKind::kG1, 16)},
+      {"NVM,  vanilla G1", DeviceKind::kNvm, VanillaOptions(CollectorKind::kG1, 16)},
+      {"NVM,  G1 +writecache", DeviceKind::kNvm, WriteCacheOptions(CollectorKind::kG1, 16)},
+      {"NVM,  G1 +all", DeviceKind::kNvm, AllOptimizationsOptions(CollectorKind::kG1, 16)},
+  };
+  for (const Case& c : cases) {
+    const WorkloadResult r = Run(c.device, c.gc, config);
+    table.AddRow({c.name, FormatDouble(static_cast<double>(r.total_ns) / 1e6, 1),
+                  FormatDouble(static_cast<double>(r.app_ns) / 1e6, 1),
+                  FormatDouble(static_cast<double>(r.gc_ns) / 1e6, 1),
+                  FormatDouble(static_cast<double>(r.gc_ns) / r.total_ns * 100.0, 1) + "%",
+                  std::to_string(r.gc_count)});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 1/5/9): GC blows up on NVM far more than the\n"
+              "application does, and the NVM-aware optimizations claw most of it back.\n");
+  return 0;
+}

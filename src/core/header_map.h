@@ -1,0 +1,97 @@
+// Header map: a global lock-free closed-hashing table that keeps forwarding
+// pointers in DRAM so object headers on NVM are never rewritten (Section 3.3
+// and Algorithm 1 of the paper).
+//
+// Entries are (old address -> new address). A put claims the key slot with a
+// CAS within a bounded probe window; losers either wait for the winner's value
+// (same key) or keep probing (different key). When the window is exhausted the
+// caller falls back to installing the forwarding pointer in the object's NVM
+// header. Contents are only meaningful during a pause and are cleared in
+// parallel at GC end.
+
+#ifndef NVMGC_SRC_CORE_HEADER_MAP_H_
+#define NVMGC_SRC_CORE_HEADER_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/heap/object.h"
+#include "src/nvm/memory_device.h"
+#include "src/nvm/prefetch_queue.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+
+class HeaderMap {
+ public:
+  // `capacity_bytes` is rounded down to a power-of-two entry count (16 B per
+  // entry). `dram` is the device charged for probe traffic.
+  HeaderMap(size_t capacity_bytes, uint32_t search_bound, MemoryDevice* dram);
+
+  // Algorithm 1 PUT. Returns:
+  //   * new_addr            — this thread won the installation;
+  //   * another address     — another thread already forwarded the object;
+  //   * kNullAddress        — probe window exhausted (caller must fall back to
+  //                           the NVM header).
+  // When `journal` is non-null, the index of a won entry is recorded so the
+  // end-of-pause clear touches only occupied entries (see ClearJournal).
+  Address Put(Address old_addr, Address new_addr, SimClock* clock, PrefetchQueue* prefetch,
+              std::vector<uint32_t>* journal = nullptr);
+
+  // Algorithm 1 GET. Returns the forwarding pointer or kNullAddress if absent
+  // from the map (caller must then consult the NVM header).
+  Address Get(Address old_addr, SimClock* clock, PrefetchQueue* prefetch) const;
+
+  // Issues a software prefetch for the probe line of `old_addr` (used when a
+  // reference is pushed, Section 4.3 "extend the original prefetching
+  // instructions to consider the random read operations on the header map").
+  void PrefetchProbe(Address old_addr, PrefetchQueue* prefetch) const;
+
+  // Clears the stripe belonging to `worker` of `total_workers`, charging
+  // sequential DRAM writes. All GC threads empty the map simultaneously.
+  // (Simple but touches the whole capacity; the collector uses ClearJournal.)
+  void ClearStripe(uint32_t worker, uint32_t total_workers, SimClock* clock);
+
+  // Clears exactly the entries this worker installed during the pause (its
+  // journal from Put) and empties the journal. Equivalent to the paper's
+  // all-threads parallel clean-up, but the cost scales with occupancy instead
+  // of capacity — which is what makes the clean-up "trivial compared with the
+  // GC pauses" at any map size.
+  void ClearJournal(std::vector<uint32_t>* journal, SimClock* clock);
+
+  size_t capacity() const { return mask_ + 1; }
+  size_t OccupiedEntries() const;
+
+  // Stats (monotonic across a run; the collector snapshots deltas).
+  uint64_t installs() const { return installs_.load(std::memory_order_relaxed); }
+  uint64_t overflows() const { return overflows_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::atomic<Address> key{kNullAddress};
+    std::atomic<Address> value{kNullAddress};
+  };
+
+  size_t IndexFor(Address old_addr) const {
+    // Fibonacci hashing over the 8-byte-aligned address.
+    return static_cast<size_t>((old_addr >> 3) * 0x9e3779b97f4a7c15ULL >> 32) & mask_;
+  }
+
+  void ChargeProbe(SimClock* clock, PrefetchQueue* prefetch, Address probe_addr) const;
+
+  MemoryDevice* dram_;
+  uint32_t search_bound_;
+  size_t mask_;
+  std::unique_ptr<Entry[]> entries_;
+
+  mutable std::atomic<uint64_t> installs_{0};
+  mutable std::atomic<uint64_t> overflows_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_CORE_HEADER_MAP_H_

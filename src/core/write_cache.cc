@@ -1,0 +1,174 @@
+#include "src/core/write_cache.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+namespace {
+// CPU cost of taking a fresh cache/twin region pair.
+constexpr uint64_t kPairAllocNs = 250;
+}  // namespace
+
+WriteCache::WriteCache(Heap* heap, const GcOptions& options)
+    : heap_(heap),
+      non_temporal_(options.use_non_temporal),
+      async_(options.async_flush),
+      unlimited_(options.unlimited_write_cache) {
+  NVMGC_CHECK(heap != nullptr);
+  capacity_bytes_ = options.write_cache_bytes != 0
+                        ? options.write_cache_bytes
+                        : heap->heap_arena_bytes() / 32;  // Paper default: heap/32.
+}
+
+bool WriteCache::Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation* out,
+                          uint64_t gc_epoch, SimClock* clock, GcCycleStats* stats) {
+  NVMGC_DCHECK(bytes <= heap_->region_bytes());
+  while (true) {
+    if (state->cache_region == nullptr) {
+      if (!unlimited_ && staged_bytes_.load(std::memory_order_relaxed) >= capacity_bytes_) {
+        return false;  // Cap reached: caller copies directly into NVM.
+      }
+      Region* cache = heap_->AllocateCacheRegion();
+      if (cache == nullptr) {
+        return false;  // DRAM arena exhausted.
+      }
+      Region* twin = heap_->AllocateRegion(RegionType::kSurvivor);
+      if (twin == nullptr) {
+        heap_->FreeCacheRegion(cache);
+        return false;
+      }
+      twin->set_gc_epoch(gc_epoch);
+      twin->set_cache_twin(cache);
+      cache->set_cache_twin(twin);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pause_twins_.push_back(twin);
+      }
+      clock->Advance(kPairAllocNs);
+      state->cache_region = cache;
+      state->twin_region = twin;
+    }
+    const Address physical = state->cache_region->Allocate(bytes);
+    if (physical != kNullAddress) {
+      staged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      out->physical = physical;
+      out->final = state->twin_region->bottom() + (physical - state->cache_region->bottom());
+      out->cache_region = state->cache_region;
+      out->twin_region = state->twin_region;
+      return true;
+    }
+    ClosePair(state, clock, stats);
+  }
+}
+
+void WriteCache::Retract(const Allocation& allocation, size_t bytes) {
+  // Only valid immediately after Allocate on the same worker (bump rollback).
+  NVMGC_DCHECK(allocation.cache_region->top() == allocation.physical + bytes);
+  allocation.cache_region->set_top(allocation.physical);
+  staged_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Address WriteCache::Physical(Heap* heap, Address final_address) {
+  Region* region = heap->RegionFor(final_address);
+  if (region == nullptr) {
+    return final_address;
+  }
+  Region* cache = region->cache_twin();
+  if (cache == nullptr) {
+    return final_address;  // Not staged (direct copy, or already flushed).
+  }
+  return cache->bottom() + (final_address - region->bottom());
+}
+
+void WriteCache::ClosePair(WriteCacheWorkerState* state, SimClock* clock, GcCycleStats* stats) {
+  Region* cache = state->cache_region;
+  Region* twin = state->twin_region;
+  state->cache_region = nullptr;
+  state->twin_region = nullptr;
+  if (cache == nullptr) {
+    return;
+  }
+  cache->set_closed(true);
+  if (async_) {
+    MaybeAsyncFlush(twin, clock, stats);
+  }
+}
+
+void WriteCache::MaybeAsyncFlush(Region* twin, SimClock* clock, GcCycleStats* stats) {
+  if (!async_ || twin == nullptr) {
+    return;
+  }
+  Region* cache = twin->cache_twin();
+  if (cache == nullptr || !cache->closed() || cache->pending_slots() != 0) {
+    return;
+  }
+  if (cache->steal_tainted()) {
+    return;  // LIFO tracking broken by work stealing: leave for the sync flush.
+  }
+  if (cache->ClaimFlush()) {
+    FlushPair(twin, clock, stats, /*async=*/true);
+  }
+}
+
+void WriteCache::FlushRemaining(uint32_t worker, uint32_t total_workers, SimClock* clock,
+                                GcCycleStats* stats) {
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = pause_twins_.size();
+  }
+  for (size_t idx = worker; idx < count; idx += total_workers) {
+    Region* twin = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      twin = pause_twins_[idx];
+    }
+    Region* cache = twin->cache_twin();
+    if (cache == nullptr) {
+      continue;  // Already flushed asynchronously.
+    }
+    if (cache->steal_tainted()) {
+      stats->regions_steal_tainted += 1;
+    }
+    if (cache->ClaimFlush()) {
+      FlushPair(twin, clock, stats, /*async=*/false);
+    }
+  }
+}
+
+void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async) {
+  Region* cache = twin->cache_twin();
+  NVMGC_CHECK(cache != nullptr);
+  const size_t used = cache->used();
+  if (used > 0) {
+    heap_->dram_device()->Access(clock,
+                                 SequentialRead(cache->bottom(), static_cast<uint32_t>(used)));
+    AccessDescriptor write = non_temporal_
+                                 ? NonTemporalWrite(twin->bottom(), static_cast<uint32_t>(used))
+                                 : SequentialWrite(twin->bottom(), static_cast<uint32_t>(used));
+    heap_->heap_device()->Access(clock, write);
+    std::memcpy(reinterpret_cast<void*>(twin->bottom()),
+                reinterpret_cast<const void*>(cache->bottom()), used);
+  }
+  twin->set_top(twin->bottom() + used);
+  twin->set_flushed(true);
+  twin->set_cache_twin(nullptr);
+  heap_->FreeCacheRegion(cache);
+  if (async) {
+    stats->regions_flushed_async += 1;
+  } else {
+    stats->regions_flushed_sync += 1;
+  }
+}
+
+std::vector<Region*> WriteCache::TakePauseTwins() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Region*> out;
+  out.swap(pause_twins_);
+  staged_bytes_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,106 @@
+// Write cache: DRAM staging of survivor regions (Section 3.2 of the paper).
+//
+// During the copy-and-traverse phase live objects are copied into DRAM cache
+// regions instead of NVM survivor regions. Each cache region is paired with an
+// NVM "twin" at pair-allocation time; an object staged at cache offset k has
+// the final address twin.bottom + k, and references are fixed up with that
+// final NVM address immediately (the paper's region mapping). Cache regions
+// are written back to NVM sequentially — with non-temporal stores when enabled
+// — either all at once in the write-only sub-phase (synchronous mode) or as
+// soon as each region becomes ready (asynchronous flushing, Section 4.2).
+//
+// Readiness for asynchronous flushing generalizes the paper's Figure 4 LIFO
+// trick: a region is ready once it is closed to new objects and its count of
+// outstanding (pushed but unprocessed) reference slots reaches zero — under
+// depth-first processing this is exactly the moment Figure 4's memorized
+// "last" reference is popped. Regions whose references were stolen are
+// steal-tainted and fall back to the synchronous flush, as in the paper.
+
+#ifndef NVMGC_SRC_CORE_WRITE_CACHE_H_
+#define NVMGC_SRC_CORE_WRITE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/gc/gc_options.h"
+#include "src/gc/gc_stats.h"
+#include "src/heap/heap.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+
+// Per-GC-worker staging state: the worker's current cache/twin pair.
+struct WriteCacheWorkerState {
+  Region* cache_region = nullptr;
+  Region* twin_region = nullptr;  // NVM survivor twin providing final addresses.
+};
+
+class WriteCache {
+ public:
+  struct Allocation {
+    Address physical = kNullAddress;  // DRAM staging location (copy target).
+    Address final = kNullAddress;     // Final NVM address (what references get).
+    Region* cache_region = nullptr;
+    Region* twin_region = nullptr;
+  };
+
+  WriteCache(Heap* heap, const GcOptions& options);
+
+  // Attempts to stage `bytes` for `state`'s worker. Returns false when the
+  // cache cannot supply space (capacity cap reached or DRAM arena exhausted);
+  // the caller then copies directly to NVM, exactly as the paper's bounded
+  // write cache does.
+  bool Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation* out,
+                uint64_t gc_epoch, SimClock* clock, GcCycleStats* stats);
+
+  // Undoes the most recent allocation (the CAS to claim the object was lost).
+  void Retract(const Allocation& allocation, size_t bytes);
+
+  // Translates a final NVM address to the physical location holding the bytes
+  // right now (DRAM while staged, the NVM address once flushed/direct).
+  static Address Physical(Heap* heap, Address final_address);
+
+  // Asynchronous flush attempt: flushes `twin`'s pair if it is closed, has no
+  // outstanding slots, and was not steal-tainted. Safe to call from any
+  // worker; at most one caller wins the flush.
+  void MaybeAsyncFlush(Region* twin, SimClock* clock, GcCycleStats* stats);
+
+  // Synchronous write-back of every still-unflushed pair; workers call this
+  // concurrently and split the list by striding (worker, total_workers), so
+  // the per-worker simulated cost is host-scheduling independent.
+  void FlushRemaining(uint32_t worker, uint32_t total_workers, SimClock* clock,
+                      GcCycleStats* stats);
+
+  // End-of-pause bookkeeping; returns twins created this pause (survivors).
+  std::vector<Region*> TakePauseTwins();
+
+  size_t staged_bytes() const { return staged_bytes_.load(std::memory_order_relaxed); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  bool unlimited() const { return unlimited_; }
+
+ private:
+  // Closes the worker's current pair (region full) and, in async mode,
+  // attempts to flush it.
+  void ClosePair(WriteCacheWorkerState* state, SimClock* clock, GcCycleStats* stats);
+
+  // Performs the actual write-back of one pair. Caller must have won the
+  // flush claim.
+  void FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async);
+
+  Heap* heap_;
+  const bool non_temporal_;
+  const bool async_;
+  const bool unlimited_;
+  size_t capacity_bytes_;
+
+  std::atomic<size_t> staged_bytes_{0};
+
+  std::mutex mu_;
+  std::vector<Region*> pause_twins_;  // Twins created during this pause.
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_CORE_WRITE_CACHE_H_

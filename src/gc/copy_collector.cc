@@ -1,0 +1,469 @@
+#include "src/gc/copy_collector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+namespace {
+// CPU cost constants (simulated ns), independent of the memory device.
+constexpr uint64_t kQueueOpNs = 6;    // Push/pop on the local task queue.
+constexpr uint64_t kStealNs = 45;     // Cross-queue steal (CAS + cache ping).
+constexpr uint64_t kEvacCpuNs = 55;   // Size/age computation, barrier checks.
+constexpr uint64_t kFenceNs = 120;    // sfence after non-temporal write-back.
+// Serial, device-independent pause overhead: safepoint synchronization, root
+// scanning setup, region bookkeeping, termination. Real G1 pauses have a
+// floor of this order regardless of how little is copied.
+constexpr uint64_t kPauseFixedOverheadNs = 40'000;
+}  // namespace
+
+CopyCollector::CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool* pool)
+    : heap_(heap), options_(options), pool_(pool) {
+  NVMGC_CHECK(heap != nullptr && pool != nullptr);
+  NVMGC_CHECK(pool->thread_count() == options.gc_threads);
+  workers_.resize(options.gc_threads);
+  for (uint32_t i = 0; i < options.gc_threads; ++i) {
+    workers_[i].id = i;
+  }
+  queues_ = std::make_unique<TaskQueueSet>(options.gc_threads);
+  published_clock_ = std::make_unique<std::atomic<uint64_t>[]>(options.gc_threads);
+  if (options_.use_write_cache) {
+    write_cache_ = std::make_unique<WriteCache>(heap_, options_);
+  }
+  if (options_.use_header_map) {
+    const size_t bytes = options_.header_map_bytes != 0 ? options_.header_map_bytes
+                                                        : heap_->heap_arena_bytes() / 32;
+    header_map_ = std::make_unique<HeaderMap>(bytes, options_.header_map_search_bound,
+                                              heap_->dram_device());
+  }
+}
+
+bool CopyCollector::StageableThroughCache(size_t) const { return true; }
+
+bool CopyCollector::HeaderMapActive() const {
+  // The header map only pays off once the read bandwidth is contended; below
+  // the thread threshold its extra lookup latency is a net loss (Section 3.3).
+  return header_map_ != nullptr && options_.gc_threads >= options_.header_map_min_threads;
+}
+
+MemoryDevice* CopyCollector::DeviceForAddress(Address a) {
+  Region* region = heap_->RegionFor(a);
+  if (region == nullptr) {
+    return heap_->dram_device();  // Mutator handles and other host memory.
+  }
+  return heap_->DeviceFor(region);
+}
+
+GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock* app_clock) {
+  ++gc_epoch_;
+  const uint64_t t0 = app_clock->now_ns();
+  NVMGC_CHECK(queues_->AllEmpty());
+
+  // --- Build the collection set: all young regions. ---
+  std::vector<Region*> cset;
+  heap_->ForEachRegion([&](Region* r) {
+    if (r->type() == RegionType::kEden ||
+        (r->type() == RegionType::kSurvivor && r->gc_epoch() < gc_epoch_)) {
+      r->set_in_cset(true);
+      cset.push_back(r);
+    }
+  });
+
+  // --- Seed worker queues with roots and remembered-set entries. ---
+  size_t qi = 0;
+  const uint32_t n = options_.gc_threads;
+  for (Address* root : roots) {
+    queues_->queue(qi++ % n).Push(reinterpret_cast<Address>(root));
+  }
+  for (Region* r : cset) {
+    for (Address slot : r->remset().Take()) {
+      queues_->queue(qi++ % n).Push(slot);
+    }
+  }
+
+  const DeviceCounters before = heap_->heap_device()->counters();
+
+  // --- Read-mostly sub-phase: parallel copy-and-traverse. ---
+  idle_workers_.store(0, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i) {
+    published_clock_[i].store(t0, std::memory_order_relaxed);
+  }
+  {
+    ScopedDeviceActivity heap_activity(heap_->heap_device(), n);
+    ScopedDeviceActivity dram_activity(heap_->dram_device(), n);
+    pool_->RunParallel([&](uint32_t id) {
+      Worker& w = workers_[id];
+      w.local = GcCycleStats{};
+      w.clock.SetTime(t0);
+      w.prefetch.Reset();
+      w.hm_prefetch.Reset();
+      w.cache_state = WriteCacheWorkerState{};
+      w.direct_survivor = nullptr;
+      w.old_target = nullptr;
+      DrainWorker(&w);
+    });
+  }
+  uint64_t read_end = t0;
+  for (const Worker& w : workers_) {
+    read_end = std::max(read_end, w.clock.now_ns());
+  }
+  if (std::getenv("NVMGC_GC_DEBUG") != nullptr) {
+    uint64_t sum = 0;
+    uint64_t max_objs = 0;
+    for (const Worker& w : workers_) {
+      sum += w.clock.now_ns() - t0;
+      max_objs = std::max(max_objs, w.local.objects_copied);
+    }
+    std::fprintf(stderr,
+                 "[gc %llu] read phase max=%.2fms avg=%.2fms max_worker_objs=%llu\n",
+                 static_cast<unsigned long long>(gc_epoch_),
+                 static_cast<double>(read_end - t0) / 1e6,
+                 static_cast<double>(sum) / workers_.size() / 1e6,
+                 static_cast<unsigned long long>(max_objs));
+  }
+
+  // --- Write-only sub-phase: stream cache regions to NVM, clear header map. ---
+  uint64_t pause_end = read_end;
+  if (write_cache_ != nullptr || HeaderMapActive()) {
+    ScopedDeviceActivity heap_activity(heap_->heap_device(), n);
+    ScopedDeviceActivity dram_activity(heap_->dram_device(), n);
+    pool_->RunParallel([&](uint32_t id) {
+      Worker& w = workers_[id];
+      w.clock.SetTime(read_end);
+      if (write_cache_ != nullptr) {
+        // Close this worker's open pair so the shared flush pass picks it up.
+        w.cache_state.cache_region = nullptr;
+        w.cache_state.twin_region = nullptr;
+        write_cache_->FlushRemaining(id, n, &w.clock, &w.local);
+        w.clock.Advance(kFenceNs);  // Single ordering fence before GC ends.
+      }
+      if (HeaderMapActive()) {
+        header_map_->ClearJournal(&w.hm_journal, &w.clock);
+      }
+    });
+    for (const Worker& w : workers_) {
+      pause_end = std::max(pause_end, w.clock.now_ns());
+    }
+  }
+
+  // --- Epilogue: reclaim the collection set. ---
+  std::vector<Region*> twins;
+  if (write_cache_ != nullptr) {
+    twins = write_cache_->TakePauseTwins();
+    for (Region* twin : twins) {
+      NVMGC_CHECK(twin->cache_twin() == nullptr);  // Everything must be flushed.
+    }
+  }
+  for (Region* r : cset) {
+    heap_->FreeRegion(r);
+  }
+
+  // --- Assemble cycle statistics. ---
+  GcCycleStats cycle;
+  for (Worker& w : workers_) {
+    const GcCycleStats& l = w.local;
+    cycle.objects_copied += l.objects_copied;
+    cycle.bytes_copied += l.bytes_copied;
+    cycle.objects_promoted += l.objects_promoted;
+    cycle.bytes_promoted += l.bytes_promoted;
+    cycle.refs_processed += l.refs_processed;
+    cycle.steals += l.steals;
+    cycle.cache_bytes_staged += l.cache_bytes_staged;
+    cycle.cache_overflow_bytes += l.cache_overflow_bytes;
+    cycle.regions_flushed_sync += l.regions_flushed_sync;
+    cycle.regions_flushed_async += l.regions_flushed_async;
+    cycle.regions_steal_tainted += l.regions_steal_tainted;
+    cycle.prefetches_issued += l.prefetches_issued;
+    cycle.prefetch_hits += w.prefetch.hits();
+  }
+  if (header_map_ != nullptr) {
+    // Header-map counters are monotonic; report per-cycle deltas.
+    cycle.header_map_installs = header_map_->installs() - last_hm_installs_;
+    cycle.header_map_overflows = header_map_->overflows() - last_hm_overflows_;
+    cycle.header_map_hits = header_map_->hits() - last_hm_hits_;
+    last_hm_installs_ = header_map_->installs();
+    last_hm_overflows_ = header_map_->overflows();
+    last_hm_hits_ = header_map_->hits();
+  }
+  const DeviceCounters after = heap_->heap_device()->counters();
+  cycle.device_read_bytes = (after - before).read_bytes;
+  cycle.device_write_bytes = (after - before).write_bytes;
+  pause_end += kPauseFixedOverheadNs;
+  cycle.start_ns = t0;
+  cycle.pause_ns = pause_end - t0;
+  cycle.read_phase_ns = read_end - t0;
+  cycle.writeback_phase_ns = pause_end - read_end;
+
+  app_clock->SetTime(pause_end);
+  stats_.Add(cycle);
+  return cycle;
+}
+
+void CopyCollector::DrainWorker(Worker* w) {
+  TaskQueue& own = queues_->queue(w->id);
+  Address slot = kNullAddress;
+  std::vector<Address> steal_buffer;
+  const uint32_t n = options_.gc_threads;
+  // A worker may run at most this far (simulated) ahead of the slowest
+  // non-idle worker before parking.
+  constexpr uint64_t kLockstepWindowNs = 100'000;
+  auto throttle = [&] {
+    published_clock_[w->id].store(w->clock.now_ns(), std::memory_order_relaxed);
+    while (true) {
+      uint64_t min_clock = UINT64_MAX;
+      for (uint32_t i = 0; i < n; ++i) {
+        min_clock = std::min(min_clock, published_clock_[i].load(std::memory_order_relaxed));
+      }
+      if (min_clock == UINT64_MAX || w->clock.now_ns() <= min_clock + kLockstepWindowNs) {
+        return;  // Everyone else idle, or we are within the window.
+      }
+      std::this_thread::yield();  // Laggards will steal from our queue.
+    }
+  };
+  while (true) {
+    while (own.Pop(&slot)) {
+      w->clock.Advance(kQueueOpNs);
+      ProcessSlot(w, slot);
+      throttle();
+    }
+    uint32_t victim = 0;
+    steal_buffer.clear();
+    if (queues_->StealHalfFor(w->id, &steal_buffer, &victim) > 0) {
+      w->clock.Advance(kStealNs + kQueueOpNs * steal_buffer.size());
+      w->local.steals += steal_buffer.size();
+      for (Address stolen : steal_buffer) {
+        TaintRegionOfSlot(stolen);
+        own.Push(stolen);
+      }
+      continue;
+    }
+    // Termination protocol: exit only when every worker is idle and every
+    // queue is empty; otherwise re-arm and retry stealing. Idle workers stop
+    // participating in the lockstep window (they publish "infinitely far").
+    published_clock_[w->id].store(UINT64_MAX, std::memory_order_relaxed);
+    idle_workers_.fetch_add(1, std::memory_order_acq_rel);
+    bool done = false;
+    while (true) {
+      if (!queues_->AllEmpty()) {
+        break;
+      }
+      if (idle_workers_.load(std::memory_order_acquire) == options_.gc_threads) {
+        done = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (done) {
+      return;
+    }
+    idle_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    published_clock_[w->id].store(w->clock.now_ns(), std::memory_order_relaxed);
+  }
+}
+
+void CopyCollector::ProcessSlot(Worker* w, Address slot) {
+  MemoryDevice* slot_dev = DeviceForAddress(slot);
+  Region* slot_region = heap_->RegionFor(slot);
+  slot_dev->Access(&w->clock, RandomRead(slot, 8));
+  const Address value = obj::LoadRef(slot);
+  if (value != kNullAddress) {
+    Region* target_region = heap_->RegionFor(value);
+    if (target_region != nullptr && target_region->in_cset()) {
+      const Address forwarded = Evacuate(w, value);
+      obj::StoreRef(slot, forwarded);
+      slot_dev->Access(&w->clock, RandomWrite(slot, 8));
+      w->local.refs_processed += 1;
+      // Remembered-set maintenance: surviving old->young edges are re-recorded
+      // so the next young collection still sees them as roots.
+      if (slot_region != nullptr && slot_region->is_old_like()) {
+        Region* new_region = heap_->RegionFor(forwarded);
+        if (new_region != nullptr && new_region->is_young()) {
+          new_region->remset().Add(slot);
+        }
+      }
+    }
+  }
+  if (slot_region != nullptr && slot_region->type() == RegionType::kWriteCache) {
+    slot_region->AddPendingSlots(-1);
+    if (write_cache_ != nullptr) {
+      write_cache_->MaybeAsyncFlush(slot_region->cache_twin(), &w->clock, &w->local);
+    }
+  }
+}
+
+Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
+  Region* src_region = heap_->RegionFor(old_addr);
+  NVMGC_DCHECK(src_region != nullptr && src_region->in_cset());
+  MemoryDevice* src_dev = heap_->DeviceFor(src_region);
+  const bool hm = HeaderMapActive();
+  PrefetchQueue* hm_prefetch = options_.prefetch_header_map ? &w->hm_prefetch : nullptr;
+
+  if (hm) {
+    const Address fwd = header_map_->Get(old_addr, &w->clock, hm_prefetch);
+    if (fwd != kNullAddress) {
+      return fwd;
+    }
+  }
+
+  // Read the header (mark + klass); software prefetching may hide the miss.
+  AccessDescriptor header_read = RandomRead(old_addr, obj::kHeaderBytes);
+  if (options_.prefetch && w->prefetch.Consume(old_addr)) {
+    header_read.prefetched = true;
+  }
+  src_dev->Access(&w->clock, header_read);
+  const uint64_t mark = obj::LoadMark(old_addr);
+  if (obj::IsForwarded(mark)) {
+    return obj::ForwardeeOf(mark);
+  }
+
+  const Klass& klass = heap_->klasses().Get(obj::KlassIdOf(old_addr));
+  const uint64_t array_length =
+      klass.kind == KlassKind::kRegular ? 0 : obj::ArrayLength(old_addr);
+  const size_t size = obj::SizeOf(klass, array_length);
+  const uint32_t age = obj::AgeOf(mark);
+  const bool promote = age + 1 >= heap_->config().tenure_age;
+  w->clock.Advance(kEvacCpuNs);
+
+  CopyTarget target;
+  AllocateTarget(w, size, promote, &target);
+
+  // Install the forwarding pointer; exactly one thread wins.
+  Address winner;
+  if (hm) {
+    winner = header_map_->Put(old_addr, target.final, &w->clock, hm_prefetch, &w->hm_journal);
+    if (winner == kNullAddress) {
+      // Bounded probe window exhausted: fall back to the NVM header.
+      src_dev->Access(&w->clock, RandomWrite(old_addr, 8));
+      const Address prev = obj::CasForward(old_addr, target.final);
+      winner = prev == kNullAddress ? target.final : prev;
+    }
+  } else {
+    src_dev->Access(&w->clock, RandomWrite(old_addr, 8));
+    const Address prev = obj::CasForward(old_addr, target.final);
+    winner = prev == kNullAddress ? target.final : prev;
+  }
+  if (winner != target.final) {
+    RetractTarget(w, target, size);
+    return winner;
+  }
+
+  // Copy the object and refresh the new header.
+  src_dev->Access(&w->clock, SequentialRead(old_addr, static_cast<uint32_t>(size)));
+  MemoryDevice* dst_dev = DeviceForAddress(target.physical);
+  dst_dev->Access(&w->clock, SequentialWrite(target.physical, static_cast<uint32_t>(size)));
+  std::memcpy(reinterpret_cast<void*>(target.physical),
+              reinterpret_cast<const void*>(old_addr), size);
+  obj::StoreMark(target.physical, obj::MarkWithAge(age + 1));
+
+  w->local.objects_copied += 1;
+  w->local.bytes_copied += size;
+  if (promote) {
+    w->local.objects_promoted += 1;
+    w->local.bytes_promoted += size;
+  }
+  if (target.staged) {
+    w->local.cache_bytes_staged += size;
+  }
+
+  // Scan the new copy's reference slots and push work.
+  const size_t nslots = obj::RefSlotCount(target.physical, klass);
+  if (nslots > 0) {
+    const Address first_slot = obj::RefSlot(target.physical, klass, 0);
+    dst_dev->Access(&w->clock,
+                    SequentialRead(first_slot, static_cast<uint32_t>(8 * nslots)));
+    Region* phys_region = heap_->RegionFor(target.physical);
+    const bool track =
+        phys_region != nullptr && phys_region->type() == RegionType::kWriteCache;
+    for (size_t i = 0; i < nslots; ++i) {
+      const Address fslot = obj::RefSlot(target.physical, klass, i);
+      const Address fval = obj::LoadRef(fslot);
+      if (fval == kNullAddress) {
+        continue;
+      }
+      Region* fregion = heap_->RegionFor(fval);
+      if (fregion == nullptr || !fregion->in_cset()) {
+        continue;
+      }
+      if (options_.prefetch) {
+        w->prefetch.Prefetch(fval);
+        w->local.prefetches_issued += 1;
+        if (hm && options_.prefetch_header_map) {
+          header_map_->PrefetchProbe(fval, &w->hm_prefetch);
+        }
+      }
+      if (track) {
+        phys_region->AddPendingSlots(1);
+      }
+      queues_->queue(w->id).Push(fslot);
+      w->clock.Advance(kQueueOpNs);
+    }
+  }
+  return target.final;
+}
+
+void CopyCollector::AllocateTarget(Worker* w, size_t size, bool promote, CopyTarget* out) {
+  out->promoted = promote;
+  if (!promote && write_cache_ != nullptr) {
+    if (StageableThroughCache(size)) {
+      WriteCache::Allocation a;
+      if (write_cache_->Allocate(&w->cache_state, size, &a, gc_epoch_, &w->clock, &w->local)) {
+        out->physical = a.physical;
+        out->final = a.final;
+        out->staged = true;
+        return;
+      }
+      w->local.cache_overflow_bytes += size;
+    } else {
+      // PS-style LAB policy: the object is copied outside the buffers the
+      // cache stages, so its writes land on NVM directly (Section 4.4).
+      w->local.cache_overflow_bytes += size;
+    }
+  }
+  out->staged = false;
+  Region** target = promote ? &w->old_target : &w->direct_survivor;
+  const RegionType type = promote ? RegionType::kOld : RegionType::kSurvivor;
+  while (true) {
+    if (*target == nullptr) {
+      *target = heap_->AllocateRegion(type);
+      NVMGC_CHECK(*target != nullptr);  // Heap exhausted during evacuation.
+      if (type == RegionType::kSurvivor) {
+        (*target)->set_gc_epoch(gc_epoch_);
+      }
+    }
+    const Address addr = (*target)->Allocate(size);
+    if (addr != kNullAddress) {
+      out->physical = addr;
+      out->final = addr;
+      return;
+    }
+    *target = nullptr;  // Region full; it keeps its type and data.
+  }
+}
+
+void CopyCollector::RetractTarget(Worker* w, const CopyTarget& target, size_t size) {
+  if (target.staged) {
+    WriteCache::Allocation a;
+    a.physical = target.physical;
+    a.cache_region = heap_->RegionFor(target.physical);
+    write_cache_->Retract(a, size);
+    return;
+  }
+  Region* region = heap_->RegionFor(target.physical);
+  NVMGC_DCHECK(region != nullptr && region->top() == target.physical + size);
+  region->set_top(target.physical);
+  // Keep the worker's target pointer; it still owns the region.
+  static_cast<void>(w);
+}
+
+void CopyCollector::TaintRegionOfSlot(Address slot) {
+  Region* region = heap_->RegionFor(slot);
+  if (region != nullptr && region->type() == RegionType::kWriteCache) {
+    region->set_steal_tainted(true);
+  }
+}
+
+}  // namespace nvmgc

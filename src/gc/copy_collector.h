@@ -1,0 +1,147 @@
+// Parallel stop-the-world copying young collector (the engine shared by the
+// G1-style and Parallel-Scavenge-style collectors).
+//
+// The collection set is every young region (eden + survivors of the previous
+// cycle). Roots are the mutator handles plus each young region's remembered
+// set. Workers run the classic copy-and-traverse loop over per-thread task
+// queues with work stealing:
+//
+//   1. pop a reference slot, read the referent            (random read)
+//   2. copy the referent to a survivor target             (sequential r/w)
+//   3. install the forwarding pointer in the old header   (random write)
+//      — or into the DRAM header map when enabled
+//   4. update the slot with the new address               (random write)
+//      and push the referents' own slots                  (sequential read)
+//
+// With the write cache enabled, step 2 copies into a DRAM cache region whose
+// NVM twin provides the final address; the pause then ends with a write-only
+// sub-phase that streams cache regions back to NVM (non-temporal stores when
+// enabled), optionally overlapped via asynchronous region flushing.
+
+#ifndef NVMGC_SRC_GC_COPY_COLLECTOR_H_
+#define NVMGC_SRC_GC_COPY_COLLECTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/core/header_map.h"
+#include "src/core/write_cache.h"
+#include "src/gc/gc_options.h"
+#include "src/gc/gc_stats.h"
+#include "src/gc/gc_thread_pool.h"
+#include "src/gc/task_queue.h"
+#include "src/heap/heap.h"
+#include "src/nvm/prefetch_queue.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+
+class CopyCollector {
+ public:
+  CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool* pool);
+  virtual ~CopyCollector() = default;
+
+  CopyCollector(const CopyCollector&) = delete;
+  CopyCollector& operator=(const CopyCollector&) = delete;
+
+  // Performs one stop-the-world young collection. `roots` are host locations
+  // holding heap addresses (mutator handles); `app_clock` is the simulated
+  // application clock, advanced by the pause duration.
+  GcCycleStats Collect(const std::vector<Address*>& roots, SimClock* app_clock);
+
+  GcStats& stats() { return stats_; }
+  const GcStats& stats() const { return stats_; }
+  const GcOptions& options() const { return options_; }
+  HeaderMap* header_map() { return header_map_.get(); }
+  WriteCache* write_cache() { return write_cache_.get(); }
+  virtual const char* name() const { return "copy"; }
+
+ protected:
+  // Policy hook: may this object be staged through the write cache? PS copies
+  // objects larger than a LAB fraction outside its buffers, which the cache
+  // cannot absorb (Section 4.4).
+  virtual bool StageableThroughCache(size_t size) const;
+
+ private:
+  struct Worker {
+    uint32_t id = 0;
+    SimClock clock;
+    PrefetchQueue prefetch;
+    // Separate queue for header-map probe lines so probe prefetches do not
+    // evict object prefetches (Section 4.3's "extended" prefetching).
+    PrefetchQueue hm_prefetch;
+    // Header-map entries this worker installed (cleared at pause end).
+    std::vector<uint32_t> hm_journal;
+    GcCycleStats local;
+    WriteCacheWorkerState cache_state;
+    Region* direct_survivor = nullptr;
+    Region* old_target = nullptr;
+  };
+
+  struct CopyTarget {
+    Address physical = kNullAddress;
+    Address final = kNullAddress;
+    bool staged = false;
+    bool promoted = false;
+  };
+
+  bool HeaderMapActive() const;
+  MemoryDevice* DeviceForAddress(Address a);
+
+  void DrainWorker(Worker* w);
+  void ProcessSlot(Worker* w, Address slot);
+  Address Evacuate(Worker* w, Address old_addr);
+  void AllocateTarget(Worker* w, size_t size, bool promote, CopyTarget* out);
+  void RetractTarget(Worker* w, const CopyTarget& target, size_t size);
+  void TaintRegionOfSlot(Address slot);
+
+  Heap* heap_;
+  GcOptions options_;
+  GcThreadPool* pool_;
+
+  std::unique_ptr<HeaderMap> header_map_;
+  std::unique_ptr<WriteCache> write_cache_;
+  std::unique_ptr<TaskQueueSet> queues_;
+  std::vector<Worker> workers_;
+  // Published per-worker simulated clocks for lockstep throttling: a worker
+  // that runs far ahead of the slowest active worker in *simulated* time
+  // parks until the others catch up (or go idle), so work stealing and the
+  // bandwidth arbiter see a faithful parallel schedule even when the host
+  // serializes the worker threads.
+  std::unique_ptr<std::atomic<uint64_t>[]> published_clock_;
+  std::atomic<uint32_t> idle_workers_{0};
+  uint64_t gc_epoch_ = 0;
+  uint64_t last_hm_installs_ = 0;
+  uint64_t last_hm_overflows_ = 0;
+  uint64_t last_hm_hits_ = 0;
+  GcStats stats_;
+};
+
+// Garbage-First-style configuration: regional survivor targets, software
+// prefetching on by default.
+class G1Collector : public CopyCollector {
+ public:
+  G1Collector(Heap* heap, const GcOptions& options, GcThreadPool* pool)
+      : CopyCollector(heap, options, pool) {}
+  const char* name() const override { return "g1"; }
+};
+
+// Parallel-Scavenge-style configuration: objects beyond the LAB fraction are
+// copied directly and bypass the write cache.
+class PsCollector : public CopyCollector {
+ public:
+  PsCollector(Heap* heap, const GcOptions& options, GcThreadPool* pool)
+      : CopyCollector(heap, options, pool), lab_bytes_(options.lab_bytes) {}
+  const char* name() const override { return "ps"; }
+
+ protected:
+  bool StageableThroughCache(size_t size) const override { return size <= lab_bytes_ / 4; }
+
+ private:
+  size_t lab_bytes_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_GC_COPY_COLLECTOR_H_

@@ -1,0 +1,83 @@
+// Collector configuration (the analog of -XX: flags).
+
+#ifndef NVMGC_SRC_GC_GC_OPTIONS_H_
+#define NVMGC_SRC_GC_GC_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmgc {
+
+enum class CollectorKind : uint8_t {
+  kG1,                // Garbage-First-style regional young GC (default).
+  kParallelScavenge,  // PS-style young GC with local allocation buffers.
+};
+
+struct GcOptions {
+  CollectorKind collector = CollectorKind::kG1;
+  uint32_t gc_threads = 8;
+
+  // --- Paper optimizations ---
+  bool use_write_cache = false;
+  // Write-cache capacity in bytes; 0 means the paper default of heap/32.
+  size_t write_cache_bytes = 0;
+  // Remove the cap entirely (Figure 11 "sync-unlimited").
+  bool unlimited_write_cache = false;
+
+  bool use_header_map = false;
+  // Header-map capacity in bytes; 0 means the paper default of heap/32.
+  size_t header_map_bytes = 0;
+  // The header map only pays off once reads are bandwidth-starved; below this
+  // thread count it is bypassed (paper default 8).
+  uint32_t header_map_min_threads = 8;
+  // Bounded linear-probe window (Algorithm 1's SEARCH_BOUND).
+  uint32_t header_map_search_bound = 16;
+
+  // Non-temporal (streaming) stores for write-cache write-back.
+  bool use_non_temporal = false;
+  // Flush cache regions asynchronously as they become ready (Section 4.2).
+  bool async_flush = false;
+
+  // Software prefetching on work-stack push. Vanilla G1 already does this;
+  // vanilla PS does not (Section 4.4).
+  bool prefetch = true;
+  // Extend prefetching to header-map probe lines.
+  bool prefetch_header_map = false;
+
+  // PS only: local allocation buffer size; objects larger than lab_bytes/4
+  // are copied directly (PS's "irregular" copies that bypass LABs).
+  size_t lab_bytes = 64 * 1024;
+};
+
+// --- Presets matching the paper's evaluated configurations ---
+
+// "vanilla": unmodified collector.
+inline GcOptions VanillaOptions(CollectorKind collector, uint32_t threads) {
+  GcOptions o;
+  o.collector = collector;
+  o.gc_threads = threads;
+  o.prefetch = collector == CollectorKind::kG1;  // G1 ships with prefetch; PS does not.
+  return o;
+}
+
+// "+writecache": write cache only.
+inline GcOptions WriteCacheOptions(CollectorKind collector, uint32_t threads) {
+  GcOptions o = VanillaOptions(collector, threads);
+  o.use_write_cache = true;
+  return o;
+}
+
+// "+all": write cache + header map + non-temporal write-back + prefetching
+// (extended to the header map).
+inline GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads) {
+  GcOptions o = WriteCacheOptions(collector, threads);
+  o.use_header_map = true;
+  o.use_non_temporal = true;
+  o.prefetch = true;
+  o.prefetch_header_map = true;
+  return o;
+}
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_GC_GC_OPTIONS_H_

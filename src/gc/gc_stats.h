@@ -1,0 +1,94 @@
+// Per-collection and accumulated GC statistics.
+
+#ifndef NVMGC_SRC_GC_GC_STATS_H_
+#define NVMGC_SRC_GC_GC_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nvmgc {
+
+struct GcCycleStats {
+  uint64_t start_ns = 0;  // Simulated time at which the pause began.
+  uint64_t pause_ns = 0;
+  uint64_t read_phase_ns = 0;       // Copy-and-traverse (read-mostly) sub-phase.
+  uint64_t writeback_phase_ns = 0;  // Write-only sub-phase (write cache only).
+
+  uint64_t objects_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t objects_promoted = 0;
+  uint64_t bytes_promoted = 0;
+  uint64_t refs_processed = 0;
+  uint64_t steals = 0;
+
+  // Write cache.
+  uint64_t cache_bytes_staged = 0;      // Bytes copied through the DRAM cache.
+  uint64_t cache_overflow_bytes = 0;    // Copied directly to NVM (cap hit).
+  uint64_t regions_flushed_sync = 0;
+  uint64_t regions_flushed_async = 0;
+  uint64_t regions_steal_tainted = 0;
+
+  // Header map.
+  uint64_t header_map_installs = 0;   // Forwardings kept in DRAM.
+  uint64_t header_map_overflows = 0;  // Fell back to NVM header CAS.
+  uint64_t header_map_hits = 0;       // Lookups resolved from DRAM.
+
+  // Device traffic deltas over the pause (heap device).
+  uint64_t device_read_bytes = 0;
+  uint64_t device_write_bytes = 0;
+
+  // Prefetching.
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetch_hits = 0;
+};
+
+class GcStats {
+ public:
+  void Add(const GcCycleStats& cycle) { cycles_.push_back(cycle); }
+
+  const std::vector<GcCycleStats>& cycles() const { return cycles_; }
+  size_t gc_count() const { return cycles_.size(); }
+
+  uint64_t total_pause_ns() const {
+    uint64_t total = 0;
+    for (const auto& c : cycles_) {
+      total += c.pause_ns;
+    }
+    return total;
+  }
+
+  GcCycleStats Totals() const {
+    GcCycleStats t;
+    for (const auto& c : cycles_) {
+      t.pause_ns += c.pause_ns;
+      t.read_phase_ns += c.read_phase_ns;
+      t.writeback_phase_ns += c.writeback_phase_ns;
+      t.objects_copied += c.objects_copied;
+      t.bytes_copied += c.bytes_copied;
+      t.objects_promoted += c.objects_promoted;
+      t.bytes_promoted += c.bytes_promoted;
+      t.refs_processed += c.refs_processed;
+      t.steals += c.steals;
+      t.cache_bytes_staged += c.cache_bytes_staged;
+      t.cache_overflow_bytes += c.cache_overflow_bytes;
+      t.regions_flushed_sync += c.regions_flushed_sync;
+      t.regions_flushed_async += c.regions_flushed_async;
+      t.regions_steal_tainted += c.regions_steal_tainted;
+      t.header_map_installs += c.header_map_installs;
+      t.header_map_overflows += c.header_map_overflows;
+      t.header_map_hits += c.header_map_hits;
+      t.device_read_bytes += c.device_read_bytes;
+      t.device_write_bytes += c.device_write_bytes;
+      t.prefetches_issued += c.prefetches_issued;
+      t.prefetch_hits += c.prefetch_hits;
+    }
+    return t;
+  }
+
+ private:
+  std::vector<GcCycleStats> cycles_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_GC_GC_STATS_H_

@@ -1,0 +1,60 @@
+#include "src/gc/gc_thread_pool.h"
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+GcThreadPool::GcThreadPool(uint32_t threads) {
+  NVMGC_CHECK(threads >= 1);
+  workers_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+GcThreadPool::~GcThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void GcThreadPool::RunParallel(const std::function<void(uint32_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  NVMGC_CHECK(remaining_ == 0);
+  current_fn_ = &fn;
+  remaining_ = thread_count();
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  current_fn_ = nullptr;
+}
+
+void GcThreadPool::WorkerLoop(uint32_t id) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      fn = current_fn_;
+    }
+    (*fn)(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace nvmgc

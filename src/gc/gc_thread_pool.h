@@ -1,0 +1,48 @@
+// Persistent pool of GC worker threads.
+//
+// Workers park between pauses; RunParallel dispatches one parallel phase and
+// blocks until every worker finishes. Logical GC thread counts larger than
+// the host's core count are fine: each worker's contribution to the pause is
+// its own simulated time, so only semantics (not host scheduling) matter.
+
+#ifndef NVMGC_SRC_GC_GC_THREAD_POOL_H_
+#define NVMGC_SRC_GC_GC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvmgc {
+
+class GcThreadPool {
+ public:
+  explicit GcThreadPool(uint32_t threads);
+  ~GcThreadPool();
+
+  GcThreadPool(const GcThreadPool&) = delete;
+  GcThreadPool& operator=(const GcThreadPool&) = delete;
+
+  // Runs fn(worker_id) on every worker; returns when all have completed.
+  void RunParallel(const std::function<void(uint32_t)>& fn);
+
+  uint32_t thread_count() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop(uint32_t id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* current_fn_ = nullptr;
+  uint64_t epoch_ = 0;
+  uint32_t remaining_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_GC_GC_THREAD_POOL_H_

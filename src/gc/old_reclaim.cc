@@ -1,0 +1,82 @@
+#include "src/gc/old_reclaim.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+OldReclaimStats ReclaimDeadOldRegions(Heap* heap, const std::vector<Address*>& roots) {
+  OldReclaimStats stats;
+
+  // --- Mark: flag every old-like region that holds a reachable object. ---
+  std::unordered_set<Address> visited;
+  std::vector<Address> stack;
+  for (Address* root : roots) {
+    if (*root != kNullAddress) {
+      stack.push_back(*root);
+    }
+  }
+  std::vector<bool> old_live(heap->config().heap_regions, false);
+  while (!stack.empty()) {
+    const Address a = stack.back();
+    stack.pop_back();
+    if (!visited.insert(a).second) {
+      continue;
+    }
+    Region* region = heap->RegionFor(a);
+    NVMGC_DCHECK(region != nullptr && region->type() != RegionType::kFree);
+    if (region->is_old_like()) {
+      old_live[region->index()] = true;
+    }
+    const Klass& klass = heap->klasses().Get(obj::KlassIdOf(a));
+    const size_t nslots = obj::RefSlotCount(a, klass);
+    for (size_t i = 0; i < nslots; ++i) {
+      const Address value = obj::LoadRef(obj::RefSlot(a, klass, i));
+      if (value != kNullAddress) {
+        stack.push_back(value);
+      }
+    }
+  }
+
+  // --- Sweep: free wholly-dead old/humongous regions. ---
+  std::vector<Region*> freed;
+  heap->ForEachRegion([&](Region* region) {
+    if (!region->is_old_like()) {
+      return;
+    }
+    if (old_live[region->index()]) {
+      ++stats.regions_kept;
+      return;
+    }
+    freed.push_back(region);
+  });
+  for (Region* region : freed) {
+    heap->FreeRegion(region);
+    ++stats.regions_freed;
+  }
+
+  // --- Purge stale remembered-set entries sourced from freed regions. ---
+  if (!freed.empty()) {
+    heap->ForEachRegion([&](Region* region) {
+      if (!region->is_young()) {
+        return;
+      }
+      std::vector<Address> kept;
+      for (Address slot : region->remset().Take()) {
+        const Region* source = heap->RegionFor(slot);
+        if (source != nullptr && source->type() == RegionType::kFree) {
+          ++stats.remset_entries_purged;
+          continue;
+        }
+        kept.push_back(slot);
+      }
+      for (Address slot : kept) {
+        region->remset().Add(slot);
+      }
+    });
+  }
+  return stats;
+}
+
+}  // namespace nvmgc

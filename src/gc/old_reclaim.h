@@ -1,0 +1,37 @@
+// Old-generation region reclamation — the analog of G1's concurrent cycle.
+//
+// The paper's workloads never trigger full GCs; long-lived data is promoted
+// to the old generation and eventually reclaimed by concurrent marking plus
+// (rare) mixed collections. This module provides the minimal equivalent the
+// young collector needs to run indefinitely: a mark pass over the reachable
+// graph (modeled as concurrent, i.e. not charged to the mutator clock) that
+// frees old/humongous regions containing no live objects, and purges stale
+// remembered-set entries whose source slots lived in freed regions.
+//
+// Region-granularity reclamation is effective here for the same reason G1's
+// region design is: objects promoted together die together.
+
+#ifndef NVMGC_SRC_GC_OLD_RECLAIM_H_
+#define NVMGC_SRC_GC_OLD_RECLAIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/heap/heap.h"
+
+namespace nvmgc {
+
+struct OldReclaimStats {
+  uint32_t regions_freed = 0;
+  uint32_t regions_kept = 0;
+  uint64_t remset_entries_purged = 0;
+};
+
+// Marks from `roots` (host slots holding heap addresses) and frees old and
+// humongous regions with no live object. Must run at a safepoint (no mutator
+// or GC activity).
+OldReclaimStats ReclaimDeadOldRegions(Heap* heap, const std::vector<Address*>& roots);
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_GC_OLD_RECLAIM_H_

@@ -1,0 +1,176 @@
+#include "src/heap/heap.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+Heap::Heap(const HeapConfig& config, MemoryDevice* heap_device, MemoryDevice* dram_device)
+    : config_(config), heap_device_(heap_device), dram_device_(dram_device) {
+  NVMGC_CHECK(heap_device_ != nullptr && dram_device_ != nullptr);
+  NVMGC_CHECK(heap_device_->kind() == config.heap_device);
+  NVMGC_CHECK(dram_device_->kind() == DeviceKind::kDram);
+  NVMGC_CHECK(config.region_bytes >= 4096 && (config.region_bytes % 8) == 0);
+  NVMGC_CHECK(config.eden_regions <= config.heap_regions);
+
+  heap_bytes_ = config.region_bytes * config.heap_regions;
+  cache_bytes_ = config.region_bytes * config.dram_cache_regions;
+  heap_arena_ = std::make_unique<uint8_t[]>(heap_bytes_);
+  cache_arena_ = std::make_unique<uint8_t[]>(cache_bytes_ == 0 ? 1 : cache_bytes_);
+  heap_base_ = reinterpret_cast<Address>(heap_arena_.get());
+  cache_base_ = reinterpret_cast<Address>(cache_arena_.get());
+
+  heap_region_count_ = config.heap_regions;
+  cache_region_count_ = config.dram_cache_regions;
+  heap_regions_ = std::make_unique<Region[]>(heap_region_count_);
+  for (uint32_t i = 0; i < heap_region_count_; ++i) {
+    heap_regions_[i].Initialize(i, heap_base_ + i * config.region_bytes, config.region_bytes,
+                                config.heap_device);
+    free_heap_regions_.push_back(heap_region_count_ - 1 - i);
+  }
+  cache_regions_ = std::make_unique<Region[]>(cache_region_count_ == 0 ? 1 : cache_region_count_);
+  for (uint32_t i = 0; i < cache_region_count_; ++i) {
+    cache_regions_[i].Initialize(i, cache_base_ + i * config.region_bytes, config.region_bytes,
+                                 DeviceKind::kDram);
+    free_cache_regions_.push_back(cache_region_count_ - 1 - i);
+  }
+}
+
+Region* Heap::AllocateFromFreeList(std::vector<uint32_t>* free_list, Region* regions,
+                                   RegionType type) {
+  if (free_list->empty()) {
+    return nullptr;
+  }
+  const uint32_t idx = free_list->back();
+  free_list->pop_back();
+  Region* region = &regions[idx];
+  region->ResetForType(type);
+  return region;
+}
+
+Region* Heap::AllocateRegion(RegionType type) {
+  NVMGC_CHECK(type != RegionType::kFree && type != RegionType::kWriteCache);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (type == RegionType::kEden && eden_count_ >= config_.eden_regions) {
+    return nullptr;  // Eden quota exhausted: caller should trigger a young GC.
+  }
+  const bool from_dram_arena = type == RegionType::kEden && config_.eden_on_dram;
+  Region* region =
+      from_dram_arena ? AllocateFromFreeList(&free_cache_regions_, cache_regions_.get(), type)
+                      : AllocateFromFreeList(&free_heap_regions_, heap_regions_.get(), type);
+  if (region != nullptr && type == RegionType::kEden) {
+    ++eden_count_;
+  }
+  return region;
+}
+
+Region* Heap::AllocateHumongousRegion() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocateFromFreeList(&free_heap_regions_, heap_regions_.get(), RegionType::kHumongous);
+}
+
+void Heap::FreeRegion(Region* region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool in_heap_pool =
+      region >= heap_regions_.get() && region < heap_regions_.get() + heap_region_count_;
+  const bool in_cache_pool = cache_region_count_ > 0 && region >= cache_regions_.get() &&
+                             region < cache_regions_.get() + cache_region_count_;
+  NVMGC_CHECK(in_heap_pool || in_cache_pool);
+  if (region->type() == RegionType::kEden) {
+    NVMGC_CHECK(eden_count_ > 0);
+    --eden_count_;
+  }
+  region->ResetForType(RegionType::kFree);
+  if (in_heap_pool) {
+    free_heap_regions_.push_back(region->index());
+  } else {
+    free_cache_regions_.push_back(region->index());
+  }
+}
+
+Region* Heap::AllocateCacheRegion() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocateFromFreeList(&free_cache_regions_, cache_regions_.get(), RegionType::kWriteCache);
+}
+
+void Heap::FreeCacheRegion(Region* region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NVMGC_CHECK(region >= cache_regions_.get() &&
+              region < cache_regions_.get() + cache_region_count_);
+  region->ResetForType(RegionType::kFree);
+  free_cache_regions_.push_back(region->index());
+}
+
+Region* Heap::RegionFor(Address a) {
+  if (InHeapArena(a)) {
+    return &heap_regions_[(a - heap_base_) / config_.region_bytes];
+  }
+  if (InCacheArena(a)) {
+    return &cache_regions_[(a - cache_base_) / config_.region_bytes];
+  }
+  return nullptr;
+}
+
+const Region* Heap::RegionFor(Address a) const {
+  return const_cast<Heap*>(this)->RegionFor(a);
+}
+
+void Heap::ForEachRegion(const std::function<void(Region*)>& fn) {
+  for (uint32_t i = 0; i < heap_region_count_; ++i) {
+    fn(&heap_regions_[i]);
+  }
+  for (uint32_t i = 0; i < cache_region_count_; ++i) {
+    fn(&cache_regions_[i]);
+  }
+}
+
+std::vector<Region*> Heap::RegionsOfType(RegionType type) {
+  std::vector<Region*> out;
+  ForEachRegion([&](Region* region) {
+    if (region->type() == type) {
+      out.push_back(region);
+    }
+  });
+  return out;
+}
+
+uint32_t Heap::CountRegions(RegionType type) const {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < heap_region_count_; ++i) {
+    if (heap_regions_[i].type() == type) {
+      ++count;
+    }
+  }
+  for (uint32_t i = 0; i < cache_region_count_; ++i) {
+    if (cache_regions_[i].type() == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t Heap::free_region_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(free_heap_regions_.size());
+}
+
+uint32_t Heap::free_cache_region_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(free_cache_regions_.size());
+}
+
+void Heap::ForEachObjectInRegion(Region* region,
+                                 const std::function<void(Address)>& fn) const {
+  Address cursor = region->bottom();
+  const Address top = region->top();
+  while (cursor < top) {
+    fn(cursor);
+    const size_t size = obj::SizeOfAt(cursor, klasses_);
+    NVMGC_CHECK(size >= obj::kHeaderBytes);
+    cursor += size;
+  }
+  NVMGC_CHECK(cursor == top);
+}
+
+}  // namespace nvmgc

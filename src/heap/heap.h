@@ -1,0 +1,125 @@
+// The managed heap: region arenas on simulated devices.
+//
+// The heap owns two arenas:
+//   * the Java heap arena, placed on the device selected by HeapConfig
+//     (the analog of -XX:AllocateHeapAt pointing at an Optane DAX mount), and
+//   * a DRAM staging arena used for write-cache regions.
+// Bytes physically live in host RAM either way; timing comes from the
+// MemoryDevice each arena is bound to.
+
+#ifndef NVMGC_SRC_HEAP_HEAP_H_
+#define NVMGC_SRC_HEAP_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/heap/klass.h"
+#include "src/heap/object.h"
+#include "src/heap/region.h"
+#include "src/nvm/memory_device.h"
+
+namespace nvmgc {
+
+struct HeapConfig {
+  size_t region_bytes = 256 * 1024;
+  uint32_t heap_regions = 1024;      // G1 default is 2048 regions; scaled down.
+  uint32_t dram_cache_regions = 96;  // Staging arena for the write cache.
+  uint32_t eden_regions = 192;       // Eden quota; exhaustion triggers young GC.
+  uint32_t tenure_age = 3;           // Copies survived before promotion to old.
+  DeviceKind heap_device = DeviceKind::kNvm;
+  // Serve eden regions from the DRAM arena ("young-gen-dram" comparison
+  // configuration in Figure 5: extra DRAM used for allocation, GC copies
+  // DRAM eden -> NVM survivors). Requires dram_cache_regions >= eden_regions.
+  bool eden_on_dram = false;
+};
+
+class Heap {
+ public:
+  Heap(const HeapConfig& config, MemoryDevice* heap_device, MemoryDevice* dram_device);
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // Region allocation from the heap arena. Returns nullptr when the arena (or,
+  // for eden, the eden quota) is exhausted.
+  Region* AllocateRegion(RegionType type);
+  void FreeRegion(Region* region);
+
+  // Allocates a whole region for one over-sized object; returns the object
+  // address (header initialized by the caller).
+  Region* AllocateHumongousRegion();
+
+  // DRAM staging arena (write-cache regions). Returns nullptr when exhausted.
+  Region* AllocateCacheRegion();
+  void FreeCacheRegion(Region* region);
+
+  // Region lookup for any address in either arena; nullptr if foreign.
+  Region* RegionFor(Address a);
+  const Region* RegionFor(Address a) const;
+
+  bool InHeapArena(Address a) const {
+    return a >= heap_base_ && a < heap_base_ + heap_bytes_;
+  }
+  bool InCacheArena(Address a) const {
+    return a >= cache_base_ && a < cache_base_ + cache_bytes_;
+  }
+
+  MemoryDevice* DeviceFor(const Region* region) {
+    return region->device() == heap_device_->kind() ? heap_device_ : dram_device_;
+  }
+  MemoryDevice* heap_device() { return heap_device_; }
+  MemoryDevice* dram_device() { return dram_device_; }
+
+  KlassTable& klasses() { return klasses_; }
+  const KlassTable& klasses() const { return klasses_; }
+
+  const HeapConfig& config() const { return config_; }
+  size_t region_bytes() const { return config_.region_bytes; }
+
+  // Iteration and statistics.
+  void ForEachRegion(const std::function<void(Region*)>& fn);
+  std::vector<Region*> RegionsOfType(RegionType type);
+  uint32_t CountRegions(RegionType type) const;
+  uint32_t free_region_count() const;
+  uint32_t free_cache_region_count() const;
+  uint32_t eden_region_count() const { return eden_count_; }
+
+  // Walks all (parsable) objects in a region bottom..top.
+  void ForEachObjectInRegion(Region* region, const std::function<void(Address)>& fn) const;
+
+  // Total bytes of DRAM currently lent to staging (for cost accounting).
+  size_t cache_arena_bytes() const { return cache_bytes_; }
+  size_t heap_arena_bytes() const { return heap_bytes_; }
+
+ private:
+  Region* AllocateFromFreeList(std::vector<uint32_t>* free_list, Region* regions,
+                               RegionType type);
+
+  HeapConfig config_;
+  MemoryDevice* heap_device_;
+  MemoryDevice* dram_device_;
+  KlassTable klasses_;
+
+  std::unique_ptr<uint8_t[]> heap_arena_;
+  std::unique_ptr<uint8_t[]> cache_arena_;
+  Address heap_base_ = 0;
+  Address cache_base_ = 0;
+  size_t heap_bytes_ = 0;
+  size_t cache_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Region[]> heap_regions_;
+  std::unique_ptr<Region[]> cache_regions_;
+  uint32_t heap_region_count_ = 0;
+  uint32_t cache_region_count_ = 0;
+  std::vector<uint32_t> free_heap_regions_;
+  std::vector<uint32_t> free_cache_regions_;
+  uint32_t eden_count_ = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_HEAP_HEAP_H_

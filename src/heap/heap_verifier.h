@@ -1,0 +1,40 @@
+// Heap invariant checking (used by tests and debug runs).
+
+#ifndef NVMGC_SRC_HEAP_HEAP_VERIFIER_H_
+#define NVMGC_SRC_HEAP_HEAP_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/heap/heap.h"
+
+namespace nvmgc {
+
+class HeapVerifier {
+ public:
+  explicit HeapVerifier(Heap* heap) : heap_(heap) {}
+
+  // Walks the object graph from `roots` (host slots holding heap addresses)
+  // and checks that every reachable reference points at a valid, parsable,
+  // non-forwarded object in a live region. Returns true on success; on
+  // failure `error` describes the first violation.
+  bool VerifyReachable(const std::vector<Address*>& roots, std::string* error);
+
+  // Checks that every used (non-free, non-cache) region parses bottom..top
+  // into a sequence of valid objects.
+  bool VerifyParsability(std::string* error);
+
+  // Checks remembered-set completeness: every reference slot in an old or
+  // humongous region that points into a young region must be recorded in that
+  // young region's remembered set.
+  bool VerifyRemsetCompleteness(std::string* error);
+
+ private:
+  bool CheckObject(Address a, std::string* error) const;
+
+  Heap* heap_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_HEAP_HEAP_VERIFIER_H_

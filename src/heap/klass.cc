@@ -1,0 +1,44 @@
+#include "src/heap/klass.h"
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+KlassTable::KlassTable() = default;
+
+KlassId KlassTable::Register(Klass klass) {
+  klass.id = static_cast<KlassId>(klasses_.size());
+  klasses_.push_back(std::move(klass));
+  return klasses_.back().id;
+}
+
+KlassId KlassTable::RegisterRegular(std::string name, uint16_t ref_fields,
+                                    uint32_t payload_bytes) {
+  Klass k;
+  k.name = std::move(name);
+  k.kind = KlassKind::kRegular;
+  k.ref_fields = ref_fields;
+  k.payload_bytes = payload_bytes;
+  return Register(std::move(k));
+}
+
+KlassId KlassTable::RegisterRefArray(std::string name) {
+  Klass k;
+  k.name = std::move(name);
+  k.kind = KlassKind::kRefArray;
+  return Register(std::move(k));
+}
+
+KlassId KlassTable::RegisterByteArray(std::string name) {
+  Klass k;
+  k.name = std::move(name);
+  k.kind = KlassKind::kByteArray;
+  return Register(std::move(k));
+}
+
+const Klass& KlassTable::Get(KlassId id) const {
+  NVMGC_CHECK(id < klasses_.size());
+  return klasses_[id];
+}
+
+}  // namespace nvmgc

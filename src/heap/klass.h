@@ -1,0 +1,54 @@
+// Class descriptors for the managed object model.
+//
+// A Klass describes the layout of a managed object the way a HotSpot klass
+// does: how many reference slots it has, how many primitive payload bytes
+// follow them, or — for arrays — the element kind. Workloads register their
+// klasses once; objects store only a 32-bit klass id.
+
+#ifndef NVMGC_SRC_HEAP_KLASS_H_
+#define NVMGC_SRC_HEAP_KLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmgc {
+
+using KlassId = uint32_t;
+
+enum class KlassKind : uint8_t {
+  kRegular,    // Fixed layout: ref fields then primitive payload.
+  kRefArray,   // Variable-length array of references.
+  kByteArray,  // Variable-length array of primitive bytes.
+};
+
+struct Klass {
+  KlassId id = 0;
+  std::string name;
+  KlassKind kind = KlassKind::kRegular;
+  uint16_t ref_fields = 0;      // kRegular only.
+  uint32_t payload_bytes = 0;   // kRegular only.
+};
+
+// Immutable-after-setup registry of klasses. Reads are lock-free; workloads
+// register all klasses before mutators start.
+class KlassTable {
+ public:
+  KlassTable();
+
+  KlassId Register(Klass klass);
+  KlassId RegisterRegular(std::string name, uint16_t ref_fields, uint32_t payload_bytes);
+  KlassId RegisterRefArray(std::string name);
+  KlassId RegisterByteArray(std::string name);
+
+  const Klass& Get(KlassId id) const;
+  bool IsValid(KlassId id) const { return id < klasses_.size(); }
+  size_t size() const { return klasses_.size(); }
+
+ private:
+  std::vector<Klass> klasses_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_HEAP_KLASS_H_

@@ -1,0 +1,51 @@
+// Per-region remembered set.
+//
+// Records the addresses of reference slots that live *outside* the young
+// generation (old/humongous regions) and point *into* this region. The
+// mutator write barrier populates it; young GC treats its entries as roots.
+
+#ifndef NVMGC_SRC_HEAP_REMEMBERED_SET_H_
+#define NVMGC_SRC_HEAP_REMEMBERED_SET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nvmgc {
+
+class RememberedSet {
+ public:
+  RememberedSet() = default;
+
+  void Add(uintptr_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(slot);
+  }
+
+  // Snapshot + clear, used at the start of a collection (the GC re-records
+  // surviving old->young edges as it updates them).
+  std::vector<uintptr_t> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uintptr_t> out;
+    out.swap(slots_);
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uintptr_t> slots_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_HEAP_REMEMBERED_SET_H_

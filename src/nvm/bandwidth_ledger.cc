@@ -1,0 +1,113 @@
+#include "src/nvm/bandwidth_ledger.h"
+
+namespace nvmgc {
+
+BandwidthLedger::BandwidthLedger(uint64_t bucket_ns) : bucket_ns_(bucket_ns) {}
+
+BandwidthLedger::Bucket* BandwidthLedger::BucketFor(uint64_t epoch) {
+  Bucket& b = ring_[epoch % kRingSize];
+  uint64_t seen = b.epoch.load(std::memory_order_relaxed);
+  if (seen != epoch) {
+    // Claim/reset the slot for this epoch. A benign race may drop a handful of
+    // bytes from another thread straddling the reset; acceptable for a mix
+    // estimator.
+    if (b.epoch.compare_exchange_strong(seen, epoch, std::memory_order_relaxed)) {
+      b.read_bytes.store(0, std::memory_order_relaxed);
+      b.write_bytes.store(0, std::memory_order_relaxed);
+      b.nt_bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+  return &b;
+}
+
+void BandwidthLedger::Charge(uint64_t now_ns, const AccessDescriptor& d) {
+  Bucket* b = BucketFor(now_ns / bucket_ns_);
+  if (d.op == AccessOp::kRead) {
+    b->read_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+  } else {
+    b->write_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+    if (d.non_temporal) {
+      b->nt_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+    }
+  }
+}
+
+BandwidthLedger::Mix BandwidthLedger::SampleMix(uint64_t now_ns, int window_buckets) const {
+  const uint64_t current = now_ns / bucket_ns_;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t nt = 0;
+  for (int i = 0; i < window_buckets; ++i) {
+    if (current < static_cast<uint64_t>(i)) {
+      break;
+    }
+    const uint64_t epoch = current - static_cast<uint64_t>(i);
+    const Bucket& b = ring_[epoch % kRingSize];
+    if (b.epoch.load(std::memory_order_relaxed) != epoch) {
+      continue;
+    }
+    reads += b.read_bytes.load(std::memory_order_relaxed);
+    writes += b.write_bytes.load(std::memory_order_relaxed);
+    nt += b.nt_bytes.load(std::memory_order_relaxed);
+  }
+  Mix mix;
+  const uint64_t total = reads + writes;
+  mix.window_bytes = total;
+  if (total > 0) {
+    mix.write_fraction = static_cast<double>(writes) / static_cast<double>(total);
+    mix.nt_write_fraction = static_cast<double>(nt) / static_cast<double>(total);
+  }
+  return mix;
+}
+
+BandwidthRecorder::BandwidthRecorder(uint64_t bucket_ns, size_t max_buckets)
+    : bucket_ns_(bucket_ns), cells_(max_buckets) {}
+
+void BandwidthRecorder::Start(uint64_t now_ns) {
+  start_ns_ = now_ns;
+  for (auto& cell : cells_) {
+    cell.read_bytes.store(0, std::memory_order_relaxed);
+    cell.write_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+void BandwidthRecorder::Charge(uint64_t now_ns, const AccessDescriptor& d) {
+  if (now_ns < start_ns_) {
+    return;
+  }
+  const uint64_t idx = (now_ns - start_ns_) / bucket_ns_;
+  if (idx >= cells_.size()) {
+    return;  // Past the recording horizon; drop.
+  }
+  if (d.op == AccessOp::kRead) {
+    cells_[idx].read_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+  } else {
+    cells_[idx].write_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+  }
+}
+
+std::vector<BandwidthSample> BandwidthRecorder::Series() const {
+  std::vector<BandwidthSample> out;
+  // MB/s = bytes / bucket_seconds / 1e6.
+  const double to_mbps = 1e9 / static_cast<double>(bucket_ns_) / 1e6;
+  size_t last_nonzero = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].read_bytes.load(std::memory_order_relaxed) != 0 ||
+        cells_[i].write_bytes.load(std::memory_order_relaxed) != 0) {
+      last_nonzero = i + 1;
+    }
+  }
+  out.reserve(last_nonzero);
+  for (size_t i = 0; i < last_nonzero; ++i) {
+    BandwidthSample s;
+    s.time_ns = i * bucket_ns_;
+    s.read_mbps =
+        static_cast<double>(cells_[i].read_bytes.load(std::memory_order_relaxed)) * to_mbps;
+    s.write_mbps =
+        static_cast<double>(cells_[i].write_bytes.load(std::memory_order_relaxed)) * to_mbps;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,92 @@
+// Sliding-window traffic accounting used to estimate the current access mix,
+// plus an optional full-resolution recorder for bandwidth-versus-time figures.
+
+#ifndef NVMGC_SRC_NVM_BANDWIDTH_LEDGER_H_
+#define NVMGC_SRC_NVM_BANDWIDTH_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/nvm/access.h"
+
+namespace nvmgc {
+
+// One point of a recorded bandwidth series (already aggregated per bucket).
+struct BandwidthSample {
+  uint64_t time_ns = 0;       // Bucket start, relative to recording start.
+  double read_mbps = 0.0;
+  double write_mbps = 0.0;
+  double total_mbps() const { return read_mbps + write_mbps; }
+};
+
+// Thread-safe ring of time buckets. Charges are attributed to the bucket that
+// contains the accessing thread's simulated time; the mix estimate aggregates
+// the most recent buckets. All counters are relaxed atomics: the ledger feeds
+// a statistical model, not a correctness invariant.
+class BandwidthLedger {
+ public:
+  // `bucket_ns` is the bucket width in simulated nanoseconds. The defaults
+  // (150 us buckets, 3-bucket sampling window) make the mix estimate adapt
+  // within ~0.5 ms of simulated time — fast enough to see the read-mostly /
+  // write-only phase separation the write cache creates.
+  explicit BandwidthLedger(uint64_t bucket_ns = 150'000);
+
+  void Charge(uint64_t now_ns, const AccessDescriptor& d);
+
+  struct Mix {
+    double write_fraction = 0.0;
+    double nt_write_fraction = 0.0;
+    uint64_t window_bytes = 0;
+  };
+  // Mix over the last `window_buckets` buckets ending at `now_ns`.
+  Mix SampleMix(uint64_t now_ns, int window_buckets = 3) const;
+
+  uint64_t bucket_ns() const { return bucket_ns_; }
+
+ private:
+  struct Bucket {
+    std::atomic<uint64_t> epoch{UINT64_MAX};
+    std::atomic<uint64_t> read_bytes{0};
+    std::atomic<uint64_t> write_bytes{0};
+    std::atomic<uint64_t> nt_bytes{0};
+  };
+
+  static constexpr int kRingSize = 64;
+
+  Bucket* BucketFor(uint64_t epoch);
+
+  uint64_t bucket_ns_;
+  mutable Bucket ring_[kRingSize];
+};
+
+// Fixed-capacity, lock-free recorder: buckets cover simulated time from
+// Start() onward. Used to produce the paper's bandwidth time-series plots
+// (Figures 2, 3 and 7).
+class BandwidthRecorder {
+ public:
+  BandwidthRecorder(uint64_t bucket_ns, size_t max_buckets);
+
+  void Charge(uint64_t now_ns, const AccessDescriptor& d);
+
+  // Rebase so that `now_ns` becomes time zero of the series.
+  void Start(uint64_t now_ns);
+
+  std::vector<BandwidthSample> Series() const;
+
+  uint64_t bucket_ns() const { return bucket_ns_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> read_bytes{0};
+    std::atomic<uint64_t> write_bytes{0};
+  };
+
+  uint64_t bucket_ns_;
+  uint64_t start_ns_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_BANDWIDTH_LEDGER_H_

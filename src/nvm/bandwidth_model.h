@@ -1,0 +1,60 @@
+// Analytical bandwidth model for a simulated memory device.
+//
+// The model computes the total bandwidth a device can sustain given the recent
+// access mix. It encodes the three Optane phenomena the paper's design builds
+// on:
+//   1. asymmetric ceilings  (peak read >> peak write),
+//   2. interference         (mixing writes into a read stream collapses the
+//                            total well below the harmonic blend),
+//   3. early write-side thread saturation (and mild decline beyond the knee).
+// Non-temporal stores use a higher write ceiling and contribute less to the
+// interference term, which is what makes the write cache's sequential
+// write-back and asynchronous flushing profitable.
+
+#ifndef NVMGC_SRC_NVM_BANDWIDTH_MODEL_H_
+#define NVMGC_SRC_NVM_BANDWIDTH_MODEL_H_
+
+#include <cstdint>
+
+#include "src/nvm/access.h"
+#include "src/nvm/device_profile.h"
+
+namespace nvmgc {
+
+// Snapshot of the recent traffic mix on a device (fractions of bytes).
+struct MixState {
+  double write_fraction = 0.0;     // All writes / total.
+  double nt_write_fraction = 0.0;  // Non-temporal writes / total.
+  uint32_t active_threads = 1;
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const DeviceProfile& profile) : profile_(profile) {}
+
+  // Total sustainable bandwidth (MB/s) for the given mix.
+  double TotalBandwidthMbps(const MixState& mix) const;
+
+  // Read-direction ceiling at `threads` concurrent readers (MB/s).
+  double ReadCeilingMbps(uint32_t threads) const;
+
+  // Write-direction ceiling at `threads` concurrent writers (MB/s);
+  // `nt_share` in [0,1] is the fraction of write bytes using streaming stores.
+  double WriteCeilingMbps(uint32_t threads, double nt_share) const;
+
+  // Multiplier (0,1] applied to a single access's bandwidth share based on its
+  // own spatial pattern.
+  double PatternFraction(AccessOp op, AccessPattern pattern) const;
+
+  const DeviceProfile& profile() const { return profile_; }
+
+ private:
+  // Interference multiplier (0,1] for the given write mix.
+  double MixInterference(double write_fraction, double nt_write_fraction) const;
+
+  DeviceProfile profile_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_BANDWIDTH_MODEL_H_

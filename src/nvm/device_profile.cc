@@ -1,0 +1,49 @@
+#include "src/nvm/device_profile.h"
+
+namespace nvmgc {
+
+DeviceProfile MakeDramProfile() {
+  DeviceProfile p;
+  p.name = "dram";
+  p.kind = DeviceKind::kDram;
+  p.random_read_latency_ns = 85;
+  p.random_write_latency_ns = 85;
+  p.sequential_line_ns = 1.0;
+  p.prefetch_hide_fraction = 0.55;  // DRAM misses are short; less to hide.
+  p.peak_read_bw_mbps = 85000.0;
+  p.peak_write_bw_mbps = 48000.0;
+  p.peak_write_nt_bw_mbps = 48000.0;
+  p.random_read_bw_fraction = 0.60;
+  p.random_write_bw_fraction = 0.60;
+  p.read_saturation_threads = 28;
+  p.write_saturation_threads = 20;
+  p.write_contention_decline = 0.0;
+  p.mix_interference = 0.15;
+  p.nt_interference_discount = 1.0;
+  p.dollars_per_gb = 7.81;
+  return p;
+}
+
+DeviceProfile MakeOptaneProfile() {
+  DeviceProfile p;
+  p.name = "nvm";
+  p.kind = DeviceKind::kNvm;
+  p.random_read_latency_ns = 305;  // ~3.6x DRAM (Izraelevitz et al.).
+  p.random_write_latency_ns = 190; // ADR write buffer hides media latency partially.
+  p.sequential_line_ns = 3.5;
+  p.prefetch_hide_fraction = 0.80; // Long misses leave more latency to hide.
+  p.peak_read_bw_mbps = 38000.0;   // 6 DIMMs x ~6.4 GB/s sequential read.
+  p.peak_write_bw_mbps = 8200.0;   // Regular cached stores.
+  p.peak_write_nt_bw_mbps = 13600.0;  // ntstore reaches the DIMM write ceiling.
+  p.random_read_bw_fraction = 0.30;
+  p.random_write_bw_fraction = 0.22;
+  p.read_saturation_threads = 24;
+  p.write_saturation_threads = 4;
+  p.write_contention_decline = 0.006;
+  p.mix_interference = 3.8;
+  p.nt_interference_discount = 0.35;
+  p.dollars_per_gb = 3.01;
+  return p;
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,75 @@
+// Calibrated performance profiles for simulated memory devices.
+//
+// The NVM numbers follow the published characterizations of Intel Optane DC
+// Persistent Memory the paper itself relies on (Izraelevitz et al. 2019;
+// Yang et al., FAST 2020): ~3x random read latency vs DRAM, strongly
+// asymmetric peak read/write bandwidth, total bandwidth that collapses as the
+// write fraction of a mixed workload rises, write-side saturation at a small
+// number of threads, and better behavior for non-temporal (streaming) stores
+// in mixed workloads. The DRAM profile is an ordinary DDR4-2933 six-channel
+// socket.
+
+#ifndef NVMGC_SRC_NVM_DEVICE_PROFILE_H_
+#define NVMGC_SRC_NVM_DEVICE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nvmgc {
+
+enum class DeviceKind : uint8_t {
+  kDram,
+  kNvm,
+};
+
+struct DeviceProfile {
+  std::string name;
+  DeviceKind kind = DeviceKind::kDram;
+
+  // --- Latency terms (paid once per random access; hidden by prefetching) ---
+  uint64_t random_read_latency_ns = 0;
+  uint64_t random_write_latency_ns = 0;
+  // Per-64B-line cost when streaming sequentially (row-buffer / WC-buffer hit).
+  double sequential_line_ns = 0.0;
+  // Fraction of the random-access latency hidden when the line was prefetched
+  // far enough in advance.
+  double prefetch_hide_fraction = 0.0;
+
+  // --- Bandwidth terms (MB/s) ---
+  double peak_read_bw_mbps = 0.0;       // Sequential read ceiling.
+  double peak_write_bw_mbps = 0.0;      // Regular (cached) store ceiling.
+  double peak_write_nt_bw_mbps = 0.0;   // Non-temporal store ceiling.
+  // Achievable fraction of peak when the pattern is random (small accesses).
+  double random_read_bw_fraction = 1.0;
+  double random_write_bw_fraction = 1.0;
+
+  // --- Parallelism ---
+  // Threads needed to reach the read/write ceilings. Below the knee, total
+  // bandwidth scales linearly with threads.
+  uint32_t read_saturation_threads = 1;
+  uint32_t write_saturation_threads = 1;
+  // Relative bandwidth LOSS per extra thread beyond the write knee: Optane's
+  // on-DIMM write combining degrades under concurrent writers.
+  double write_contention_decline = 0.0;
+
+  // --- Read/write interference ---
+  // Strength of the total-bandwidth collapse when reads and writes mix.
+  // 0 = independent channels (DRAM-like); larger = Optane-like collapse.
+  double mix_interference = 0.0;
+  // Non-temporal stores interfere less: their write fraction is scaled by
+  // this factor before the interference term is computed.
+  double nt_interference_discount = 1.0;
+
+  // Per-GB price in dollars (Figure 12 cost-efficiency analysis).
+  double dollars_per_gb = 0.0;
+};
+
+// Six-channel DDR4 socket (as in the paper's testbed).
+DeviceProfile MakeDramProfile();
+
+// Six interleaved 128 GB Optane DC PM DIMMs on one socket.
+DeviceProfile MakeOptaneProfile();
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_DEVICE_PROFILE_H_

@@ -1,0 +1,106 @@
+#include "src/nvm/memory_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+MemoryDevice::MemoryDevice(DeviceProfile profile) : model_(profile) {}
+
+uint64_t MemoryDevice::CostNs(uint64_t now_ns, const AccessDescriptor& d) const {
+  const DeviceProfile& p = model_.profile();
+
+  // Latency term.
+  double latency_ns = 0.0;
+  if (d.pattern == AccessPattern::kRandom) {
+    latency_ns = d.op == AccessOp::kRead ? static_cast<double>(p.random_read_latency_ns)
+                                         : static_cast<double>(p.random_write_latency_ns);
+    if (d.prefetched) {
+      latency_ns *= 1.0 - p.prefetch_hide_fraction;
+    }
+  } else {
+    const uint32_t lines = (d.bytes + 63) / 64;
+    latency_ns = p.sequential_line_ns * static_cast<double>(lines);
+  }
+
+  // Bandwidth term: bytes over this thread's share of the device total.
+  const BandwidthLedger::Mix window = ledger_.SampleMix(now_ns);
+  MixState mix;
+  mix.write_fraction = window.write_fraction;
+  mix.nt_write_fraction = window.nt_write_fraction;
+  mix.active_threads = active_threads();
+  const double total_mbps = model_.TotalBandwidthMbps(mix);
+  const double share_mbps = std::max(
+      1.0, total_mbps / static_cast<double>(mix.active_threads) *
+               model_.PatternFraction(d.op, d.pattern));
+  // 1 MB/s == 1e6 bytes / 1e9 ns, so ns = bytes * 1000 / MBps.
+  const double bw_ns = static_cast<double>(d.bytes) * 1000.0 / share_mbps;
+
+  return static_cast<uint64_t>(latency_ns + bw_ns + 0.5);
+}
+
+uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
+  NVMGC_DCHECK(clock != nullptr);
+  const uint64_t now = clock->now_ns();
+  const uint64_t cost = CostNs(now, d);
+  clock->Advance(cost);
+
+  ledger_.Charge(now, d);
+  if (recording_.load(std::memory_order_acquire)) {
+    recorder_->Charge(now, d);
+  }
+
+  if (d.op == AccessOp::kRead) {
+    read_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    write_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (d.non_temporal) {
+      nt_write_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
+    }
+  }
+  return cost;
+}
+
+DeviceCounters MemoryDevice::counters() const {
+  DeviceCounters c;
+  c.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  c.write_bytes = write_bytes_.load(std::memory_order_relaxed);
+  c.nt_write_bytes = nt_write_bytes_.load(std::memory_order_relaxed);
+  c.read_ops = read_ops_.load(std::memory_order_relaxed);
+  c.write_ops = write_ops_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void MemoryDevice::StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets) {
+  recorder_ = std::make_unique<BandwidthRecorder>(bucket_ns, max_buckets);
+  recorder_->Start(now_ns);
+  recording_.store(true, std::memory_order_release);
+}
+
+void MemoryDevice::StopRecording() { recording_.store(false, std::memory_order_release); }
+
+std::vector<BandwidthSample> MemoryDevice::RecordedSeries() const {
+  if (!recorder_) {
+    return {};
+  }
+  return recorder_->Series();
+}
+
+MixState MemoryDevice::CurrentMix(uint64_t now_ns) const {
+  const BandwidthLedger::Mix window = ledger_.SampleMix(now_ns);
+  MixState mix;
+  mix.write_fraction = window.write_fraction;
+  mix.nt_write_fraction = window.nt_write_fraction;
+  mix.active_threads = active_threads();
+  return mix;
+}
+
+double MemoryDevice::CurrentTotalBandwidthMbps(uint64_t now_ns) const {
+  return model_.TotalBandwidthMbps(CurrentMix(now_ns));
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,113 @@
+// Simulated memory device: the global arbiter that charges simulated time for
+// every heap access and maintains traffic statistics.
+//
+// This is the substitution point for real Optane hardware (see DESIGN.md §2):
+// heap bytes physically live in host RAM, but all timing comes from the
+// calibrated DeviceProfile + BandwidthModel. The arbiter couples concurrent
+// threads through a shared mix estimate and an active-thread count, which is
+// what makes the vanilla collector stop scaling at the write knee and the
+// optimized collector keep scaling — emergently rather than by fiat.
+
+#ifndef NVMGC_SRC_NVM_MEMORY_DEVICE_H_
+#define NVMGC_SRC_NVM_MEMORY_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/nvm/access.h"
+#include "src/nvm/bandwidth_ledger.h"
+#include "src/nvm/bandwidth_model.h"
+#include "src/nvm/device_profile.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+
+// Aggregate counters, readable at any time. Snapshot subtraction gives
+// per-phase traffic (e.g. bytes moved during one GC pause).
+struct DeviceCounters {
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t nt_write_bytes = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+
+  DeviceCounters operator-(const DeviceCounters& rhs) const {
+    return DeviceCounters{read_bytes - rhs.read_bytes, write_bytes - rhs.write_bytes,
+                          nt_write_bytes - rhs.nt_write_bytes, read_ops - rhs.read_ops,
+                          write_ops - rhs.write_ops};
+  }
+  uint64_t total_bytes() const { return read_bytes + write_bytes; }
+};
+
+class MemoryDevice {
+ public:
+  explicit MemoryDevice(DeviceProfile profile);
+
+  // Charges `clock` for the access and returns the charged nanoseconds.
+  // Thread-safe.
+  uint64_t Access(SimClock* clock, const AccessDescriptor& d);
+
+  // Cost preview without charging or accounting (used by tests/models).
+  uint64_t CostNs(uint64_t now_ns, const AccessDescriptor& d) const;
+
+  // Active-thread management: the runtime declares how many logical threads
+  // are concurrently issuing traffic (GC workers during a pause, mutators
+  // otherwise). RAII helper below.
+  void AddActiveThreads(uint32_t n) { active_threads_.fetch_add(n, std::memory_order_relaxed); }
+  void RemoveActiveThreads(uint32_t n) { active_threads_.fetch_sub(n, std::memory_order_relaxed); }
+  uint32_t active_threads() const {
+    const uint32_t t = active_threads_.load(std::memory_order_relaxed);
+    return t == 0 ? 1 : t;
+  }
+
+  DeviceCounters counters() const;
+
+  // Time-series recording (bandwidth figures). The recorder is created by
+  // StartRecording and charged on every access until StopRecording.
+  void StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets);
+  void StopRecording();
+  std::vector<BandwidthSample> RecordedSeries() const;
+
+  // Instantaneous model outputs (for tests and monitors).
+  MixState CurrentMix(uint64_t now_ns) const;
+  double CurrentTotalBandwidthMbps(uint64_t now_ns) const;
+
+  const DeviceProfile& profile() const { return model_.profile(); }
+  const BandwidthModel& model() const { return model_; }
+  DeviceKind kind() const { return model_.profile().kind; }
+
+ private:
+  BandwidthModel model_;
+  BandwidthLedger ledger_;
+
+  std::atomic<uint32_t> active_threads_{0};
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
+  std::atomic<uint64_t> nt_write_bytes_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
+
+  std::atomic<bool> recording_{false};
+  std::unique_ptr<BandwidthRecorder> recorder_;
+};
+
+// Declares `n` active threads on `device` for the current scope.
+class ScopedDeviceActivity {
+ public:
+  ScopedDeviceActivity(MemoryDevice* device, uint32_t n) : device_(device), n_(n) {
+    device_->AddActiveThreads(n_);
+  }
+  ~ScopedDeviceActivity() { device_->RemoveActiveThreads(n_); }
+
+  ScopedDeviceActivity(const ScopedDeviceActivity&) = delete;
+  ScopedDeviceActivity& operator=(const ScopedDeviceActivity&) = delete;
+
+ private:
+  MemoryDevice* device_;
+  uint32_t n_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_MEMORY_DEVICE_H_

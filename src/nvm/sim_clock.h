@@ -1,0 +1,40 @@
+// Per-thread simulated clock.
+//
+// Simulated time, not wall time, is what all reported GC/application numbers
+// are measured in. Each logical thread (GC worker, mutator) owns a SimClock;
+// MemoryDevice::Access() advances it by the modeled cost of each access, and
+// compute phases advance it explicitly. A parallel phase's duration is the max
+// across its workers' advances, which makes N logical GC threads faithful even
+// on a single-core host.
+
+#ifndef NVMGC_SRC_NVM_SIM_CLOCK_H_
+#define NVMGC_SRC_NVM_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace nvmgc {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  uint64_t now_ns() const { return now_ns_; }
+
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+
+  void SetTime(uint64_t ns) { now_ns_ = ns; }
+
+  // Synchronizes this clock forward to `ns` (a barrier); never moves backward.
+  void SyncForwardTo(uint64_t ns) {
+    if (ns > now_ns_) {
+      now_ns_ = ns;
+    }
+  }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_SIM_CLOCK_H_

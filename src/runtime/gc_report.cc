@@ -1,0 +1,94 @@
+#include "src/runtime/gc_report.h"
+
+#include <algorithm>
+
+#include "src/runtime/vm.h"
+#include "src/util/table_printer.h"
+
+namespace nvmgc {
+
+std::string FormatGcCycle(size_t id, const GcCycleStats& cycle) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "[%8.3fs] GC(%zu) pause young %.2fms (read %.2fms, write-back %.2fms) "
+      "copied %s / %llu objects, promoted %s, refs %llu, steals %llu",
+      static_cast<double>(cycle.start_ns) / 1e9, id,
+      static_cast<double>(cycle.pause_ns) / 1e6,
+      static_cast<double>(cycle.read_phase_ns) / 1e6,
+      static_cast<double>(cycle.writeback_phase_ns) / 1e6,
+      FormatSiBytes(cycle.bytes_copied).c_str(),
+      static_cast<unsigned long long>(cycle.objects_copied),
+      FormatSiBytes(cycle.bytes_promoted).c_str(),
+      static_cast<unsigned long long>(cycle.refs_processed),
+      static_cast<unsigned long long>(cycle.steals));
+  std::string out = line;
+  if (cycle.cache_bytes_staged > 0 || cycle.regions_flushed_sync > 0 ||
+      cycle.regions_flushed_async > 0) {
+    std::snprintf(line, sizeof(line),
+                  " | cache staged %s (overflow %s), flushed %llu sync / %llu async",
+                  FormatSiBytes(cycle.cache_bytes_staged).c_str(),
+                  FormatSiBytes(cycle.cache_overflow_bytes).c_str(),
+                  static_cast<unsigned long long>(cycle.regions_flushed_sync),
+                  static_cast<unsigned long long>(cycle.regions_flushed_async));
+    out += line;
+  }
+  if (cycle.header_map_installs > 0 || cycle.header_map_overflows > 0) {
+    std::snprintf(line, sizeof(line), " | header map %llu installs, %llu overflows",
+                  static_cast<unsigned long long>(cycle.header_map_installs),
+                  static_cast<unsigned long long>(cycle.header_map_overflows));
+    out += line;
+  }
+  return out;
+}
+
+void PrintGcLog(Vm* vm, std::FILE* out) {
+  const auto& cycles = vm->gc_stats().cycles();
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    std::fprintf(out, "%s\n", FormatGcCycle(i, cycles[i]).c_str());
+  }
+}
+
+void PrintGcSummary(Vm* vm, std::FILE* out) {
+  const auto& cycles = vm->gc_stats().cycles();
+  const GcCycleStats totals = vm->gc_stats().Totals();
+  uint64_t max_pause = 0;
+  for (const auto& c : cycles) {
+    max_pause = std::max(max_pause, c.pause_ns);
+  }
+  std::fprintf(out, "GC summary (%s collector, %u threads)\n", vm->collector().name(),
+               vm->options().gc.gc_threads);
+  std::fprintf(out, "  collections:     %zu\n", cycles.size());
+  std::fprintf(out, "  total pause:     %.2f ms\n", static_cast<double>(totals.pause_ns) / 1e6);
+  if (!cycles.empty()) {
+    std::fprintf(out, "  mean / max:      %.2f / %.2f ms\n",
+                 static_cast<double>(totals.pause_ns) / cycles.size() / 1e6,
+                 static_cast<double>(max_pause) / 1e6);
+  }
+  std::fprintf(out, "  copied:          %s in %llu objects\n",
+               FormatSiBytes(totals.bytes_copied).c_str(),
+               static_cast<unsigned long long>(totals.objects_copied));
+  std::fprintf(out, "  promoted:        %s\n", FormatSiBytes(totals.bytes_promoted).c_str());
+  if (totals.cache_bytes_staged + totals.cache_overflow_bytes > 0) {
+    std::fprintf(out, "  write cache:     %.1f%% of survivor bytes staged in DRAM\n",
+                 static_cast<double>(totals.cache_bytes_staged) /
+                     static_cast<double>(totals.cache_bytes_staged +
+                                         totals.cache_overflow_bytes) *
+                     100.0);
+  }
+  if (totals.header_map_installs + totals.header_map_overflows > 0) {
+    std::fprintf(out, "  header map:      %.1f%% of forwardings kept off NVM\n",
+                 static_cast<double>(totals.header_map_installs) /
+                     static_cast<double>(totals.header_map_installs +
+                                         totals.header_map_overflows) *
+                     100.0);
+  }
+  if (totals.prefetches_issued > 0) {
+    std::fprintf(out, "  prefetch:        %.1f%% hit rate (%llu issued)\n",
+                 static_cast<double>(totals.prefetch_hits) /
+                     static_cast<double>(totals.prefetches_issued) * 100.0,
+                 static_cast<unsigned long long>(totals.prefetches_issued));
+  }
+}
+
+}  // namespace nvmgc

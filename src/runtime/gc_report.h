@@ -1,0 +1,29 @@
+// Human-readable GC reporting (the -Xlog:gc analog).
+
+#ifndef NVMGC_SRC_RUNTIME_GC_REPORT_H_
+#define NVMGC_SRC_RUNTIME_GC_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/gc/gc_stats.h"
+
+namespace nvmgc {
+
+class Vm;
+
+// Formats one collection the way HotSpot's unified GC logging does, e.g.
+//   [1.203s] GC(7) pause young 4.21ms (read 3.80ms, write-back 0.41ms)
+//            copied 1.9 MiB / 24901 objects, promoted 0.1 MiB, ...
+std::string FormatGcCycle(size_t id, const GcCycleStats& cycle);
+
+// Prints every recorded cycle of `vm`'s collector to `out`.
+void PrintGcLog(Vm* vm, std::FILE* out = stdout);
+
+// Prints an aggregate summary: counts, total/mean/max pause, staging and
+// header-map effectiveness, prefetch hit rate.
+void PrintGcSummary(Vm* vm, std::FILE* out = stdout);
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_RUNTIME_GC_REPORT_H_

@@ -1,0 +1,115 @@
+#include "src/runtime/mutator.h"
+
+#include "src/runtime/vm.h"
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+namespace {
+constexpr uint64_t kAllocCpuNs = 9;    // Bump-pointer + size computation.
+constexpr uint64_t kBarrierCpuNs = 3;  // Write-barrier filter.
+}  // namespace
+
+Address Mutator::Allocate(KlassId klass_id, uint64_t array_length) {
+  const Klass& klass = vm_->heap_->klasses().Get(klass_id);
+  const size_t size = obj::SizeOf(klass, array_length);
+  if (size > vm_->heap_->region_bytes() / 2) {
+    return AllocateHumongous(klass, array_length, size);
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (tlab_ != nullptr) {
+      const Address addr = tlab_->Allocate(size);
+      if (addr != kNullAddress) {
+        obj::InitializeObject(addr, klass, array_length);
+        MemoryDevice* dev = vm_->heap_->DeviceFor(tlab_);
+        dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
+        vm_->clock_.Advance(kAllocCpuNs);
+        return addr;
+      }
+    }
+    tlab_ = vm_->heap_->AllocateRegion(RegionType::kEden);
+    if (tlab_ == nullptr) {
+      // Eden quota exhausted: young GC, then retry with a fresh TLAB.
+      vm_->CollectNow();
+      ++gcs_triggered_;
+    }
+  }
+  NVMGC_CHECK(false);  // Heap exhausted: allocation failed even after GC.
+}
+
+Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size) {
+  NVMGC_CHECK(size <= vm_->heap_->region_bytes());
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Region* region = vm_->heap_->AllocateHumongousRegion();
+    if (region != nullptr) {
+      const Address addr = region->Allocate(size);
+      NVMGC_CHECK(addr != kNullAddress);
+      obj::InitializeObject(addr, klass, array_length);
+      MemoryDevice* dev = vm_->heap_->DeviceFor(region);
+      dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
+      vm_->clock_.Advance(kAllocCpuNs);
+      return addr;
+    }
+    vm_->CollectNow();
+    ++gcs_triggered_;
+  }
+  NVMGC_CHECK(false);  // No region available for a humongous allocation.
+}
+
+Address Mutator::AllocateRegular(KlassId klass) { return Allocate(klass, 0); }
+
+Address Mutator::AllocateRefArray(KlassId klass, uint64_t length) {
+  NVMGC_DCHECK(vm_->heap_->klasses().Get(klass).kind == KlassKind::kRefArray);
+  return Allocate(klass, length);
+}
+
+Address Mutator::AllocateByteArray(KlassId klass, uint64_t length) {
+  NVMGC_DCHECK(vm_->heap_->klasses().Get(klass).kind == KlassKind::kByteArray);
+  return Allocate(klass, length);
+}
+
+void Mutator::WriteRef(Address object, size_t slot_index, Address value) {
+  const Klass& klass = vm_->heap_->klasses().Get(obj::KlassIdOf(object));
+  const Address slot = obj::RefSlot(object, klass, slot_index);
+  obj::StoreRef(slot, value);
+  Region* region = vm_->heap_->RegionFor(object);
+  vm_->heap_->DeviceFor(region)->Access(&vm_->clock_, RandomWrite(slot, 8));
+  vm_->clock_.Advance(kBarrierCpuNs);
+  // Old->young write barrier: record the slot in the target's remembered set.
+  if (value != kNullAddress && region->is_old_like()) {
+    Region* target = vm_->heap_->RegionFor(value);
+    if (target != nullptr && target->is_young()) {
+      target->remset().Add(slot);
+    }
+  }
+}
+
+Address Mutator::ReadRef(Address object, size_t slot_index) {
+  const Klass& klass = vm_->heap_->klasses().Get(obj::KlassIdOf(object));
+  const Address slot = obj::RefSlot(object, klass, slot_index);
+  Region* region = vm_->heap_->RegionFor(object);
+  vm_->heap_->DeviceFor(region)->Access(&vm_->clock_, RandomRead(slot, 8));
+  return obj::LoadRef(slot);
+}
+
+void Mutator::ReadPayload(Address object, uint32_t bytes) {
+  Region* region = vm_->heap_->RegionFor(object);
+  MemoryDevice* dev = vm_->heap_->DeviceFor(region);
+  if (bytes <= 64) {
+    dev->Access(&vm_->clock_, RandomRead(object, bytes));
+  } else {
+    dev->Access(&vm_->clock_, SequentialRead(object, bytes));
+  }
+}
+
+void Mutator::WritePayload(Address object, uint32_t bytes) {
+  Region* region = vm_->heap_->RegionFor(object);
+  MemoryDevice* dev = vm_->heap_->DeviceFor(region);
+  if (bytes <= 64) {
+    dev->Access(&vm_->clock_, RandomWrite(object, bytes));
+  } else {
+    dev->Access(&vm_->clock_, SequentialWrite(object, bytes));
+  }
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,52 @@
+// Mutator: the application-facing allocation and access API.
+//
+// Allocation is TLAB-style bump allocation in eden regions; exhaustion of the
+// eden quota triggers a young GC. Reference writes go through the old->young
+// write barrier that feeds the remembered sets. All operations charge
+// simulated time on the owning VM's shared application clock.
+
+#ifndef NVMGC_SRC_RUNTIME_MUTATOR_H_
+#define NVMGC_SRC_RUNTIME_MUTATOR_H_
+
+#include "src/heap/heap.h"
+#include "src/heap/object.h"
+
+namespace nvmgc {
+
+class Vm;
+
+class Mutator {
+ public:
+  explicit Mutator(Vm* vm) : vm_(vm) {}
+
+  // --- Allocation (may trigger GC; returned address is the new object) ---
+  Address AllocateRegular(KlassId klass);
+  Address AllocateRefArray(KlassId klass, uint64_t length);
+  Address AllocateByteArray(KlassId klass, uint64_t length);
+
+  // --- Field access (charged; WriteRef applies the write barrier) ---
+  void WriteRef(Address object, size_t slot_index, Address value);
+  Address ReadRef(Address object, size_t slot_index);
+  // Touches `bytes` of the object's primitive payload (capped at its size).
+  void ReadPayload(Address object, uint32_t bytes);
+  void WritePayload(Address object, uint32_t bytes);
+
+  // Number of GCs this mutator's allocations have triggered.
+  uint64_t gcs_triggered() const { return gcs_triggered_; }
+
+  // Called by the VM after every pause: eden regions were reclaimed, so the
+  // current TLAB is stale.
+  void ResetTlab() { tlab_ = nullptr; }
+
+ private:
+  Address Allocate(KlassId klass, uint64_t array_length);
+  Address AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size);
+
+  Vm* vm_;
+  Region* tlab_ = nullptr;
+  uint64_t gcs_triggered_ = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_RUNTIME_MUTATOR_H_

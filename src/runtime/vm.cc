@@ -1,0 +1,90 @@
+#include "src/runtime/vm.h"
+
+#include "src/gc/old_reclaim.h"
+#include "src/runtime/mutator.h"
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+Vm::Vm(const VmOptions& options) : options_(options) {
+  heap_device_ = std::make_unique<MemoryDevice>(options.heap.heap_device == DeviceKind::kNvm
+                                                    ? MakeOptaneProfile()
+                                                    : MakeDramProfile());
+  dram_device_ = std::make_unique<MemoryDevice>(MakeDramProfile());
+  heap_ = std::make_unique<Heap>(options.heap, heap_device_.get(), dram_device_.get());
+  pool_ = std::make_unique<GcThreadPool>(options.gc.gc_threads);
+  switch (options.gc.collector) {
+    case CollectorKind::kG1:
+      collector_ = std::make_unique<G1Collector>(heap_.get(), options.gc, pool_.get());
+      break;
+    case CollectorKind::kParallelScavenge:
+      collector_ = std::make_unique<PsCollector>(heap_.get(), options.gc, pool_.get());
+      break;
+  }
+}
+
+Vm::~Vm() = default;
+
+Mutator* Vm::CreateMutator() {
+  mutators_.push_back(std::make_unique<Mutator>(this));
+  return mutators_.back().get();
+}
+
+RootHandle Vm::NewRoot(Address value) {
+  if (!free_roots_.empty()) {
+    const RootHandle handle = free_roots_.back();
+    free_roots_.pop_back();
+    root_cells_[handle] = value;
+    root_active_[handle] = true;
+    return handle;
+  }
+  root_cells_.push_back(value);
+  root_active_.push_back(true);
+  return root_cells_.size() - 1;
+}
+
+void Vm::SetRoot(RootHandle handle, Address value) {
+  NVMGC_CHECK(handle < root_cells_.size() && root_active_[handle]);
+  root_cells_[handle] = value;
+}
+
+Address Vm::GetRoot(RootHandle handle) const {
+  NVMGC_CHECK(handle < root_cells_.size() && root_active_[handle]);
+  return root_cells_[handle];
+}
+
+void Vm::ReleaseRoot(RootHandle handle) {
+  NVMGC_CHECK(handle < root_cells_.size() && root_active_[handle]);
+  root_cells_[handle] = kNullAddress;
+  root_active_[handle] = false;
+  free_roots_.push_back(handle);
+}
+
+std::vector<Address*> Vm::RootSlots() {
+  std::vector<Address*> slots;
+  slots.reserve(root_cells_.size());
+  for (size_t i = 0; i < root_cells_.size(); ++i) {
+    if (root_active_[i]) {
+      slots.push_back(&root_cells_[i]);
+    }
+  }
+  return slots;
+}
+
+GcCycleStats Vm::CollectNow() {
+  const GcCycleStats cycle = collector_->Collect(RootSlots(), &clock_);
+  // Eden was reclaimed: every mutator's TLAB pointer is stale.
+  for (auto& mutator : mutators_) {
+    mutator->ResetTlab();
+  }
+  // Concurrent-cycle analog: when the old generation has eaten most of the
+  // heap, reclaim wholly-dead old regions. Like G1's concurrent marking it is
+  // not charged to the application clock.
+  if (heap_->free_region_count() < options_.heap.heap_regions / 4) {
+    ReclaimDeadOldRegions(heap_.get(), RootSlots());
+    ++old_reclaim_count_;
+  }
+  return cycle;
+}
+
+}  // namespace nvmgc

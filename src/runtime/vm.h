@@ -1,0 +1,97 @@
+// The virtual machine facade: devices + heap + collector + mutators + roots.
+//
+// A Vm is the analog of one JVM process: it owns the simulated DRAM/NVM
+// devices, the region heap, the GC thread pool and collector, the root-handle
+// table, and the single simulated application clock that all mutators share.
+// Workloads allocate through Mutator and read time through now_ns(); every
+// reported number (GC pause, application time, request latency) is simulated.
+
+#ifndef NVMGC_SRC_RUNTIME_VM_H_
+#define NVMGC_SRC_RUNTIME_VM_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/gc/copy_collector.h"
+#include "src/gc/gc_options.h"
+#include "src/gc/gc_thread_pool.h"
+#include "src/heap/heap.h"
+#include "src/nvm/device_profile.h"
+#include "src/nvm/memory_device.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+
+class Mutator;
+
+struct VmOptions {
+  HeapConfig heap;
+  GcOptions gc;
+};
+
+// A stable index into the VM's root table.
+using RootHandle = size_t;
+
+class Vm {
+ public:
+  explicit Vm(const VmOptions& options);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // Mutator lifecycle. Mutators are owned by the Vm.
+  Mutator* CreateMutator();
+
+  // --- GC roots (the analog of thread stacks / globals) ---
+  RootHandle NewRoot(Address value = kNullAddress);
+  void SetRoot(RootHandle handle, Address value);
+  Address GetRoot(RootHandle handle) const;
+  void ReleaseRoot(RootHandle handle);
+  std::vector<Address*> RootSlots();
+
+  // Triggers a stop-the-world young collection immediately. When the heap is
+  // running low afterwards, a concurrent-cycle analog reclaims wholly-dead
+  // old regions (see src/gc/old_reclaim.h).
+  GcCycleStats CollectNow();
+
+  uint64_t old_reclaim_count() const { return old_reclaim_count_; }
+
+  // --- Accessors ---
+  Heap& heap() { return *heap_; }
+  CopyCollector& collector() { return *collector_; }
+  const GcStats& gc_stats() const { return collector_->stats(); }
+  MemoryDevice& heap_device() { return *heap_device_; }
+  MemoryDevice& dram_device() { return *dram_device_; }
+  SimClock& clock() { return clock_; }
+  const VmOptions& options() const { return options_; }
+
+  uint64_t now_ns() const { return clock_.now_ns(); }
+  // Application time excluding GC pauses.
+  uint64_t app_time_ns() const { return clock_.now_ns() - collector_->stats().total_pause_ns(); }
+  uint64_t gc_time_ns() const { return collector_->stats().total_pause_ns(); }
+  size_t gc_count() const { return collector_->stats().gc_count(); }
+
+ private:
+  friend class Mutator;
+
+  VmOptions options_;
+  std::unique_ptr<MemoryDevice> heap_device_;
+  std::unique_ptr<MemoryDevice> dram_device_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<GcThreadPool> pool_;
+  std::unique_ptr<CopyCollector> collector_;
+  SimClock clock_;
+
+  uint64_t old_reclaim_count_ = 0;
+  std::deque<Address> root_cells_;
+  std::vector<RootHandle> free_roots_;
+  std::vector<bool> root_active_;
+
+  std::vector<std::unique_ptr<Mutator>> mutators_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_RUNTIME_VM_H_

@@ -1,0 +1,38 @@
+// Assertion macros for invariant checking.
+//
+// NVMGC_CHECK is always on (even in release builds): a managed heap that has
+// lost an invariant must fail fast rather than silently corrupt object graphs.
+// NVMGC_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+
+#ifndef NVMGC_SRC_UTIL_CHECK_H_
+#define NVMGC_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvmgc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "NVMGC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nvmgc
+
+#define NVMGC_CHECK(expr)                               \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      ::nvmgc::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define NVMGC_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define NVMGC_DCHECK(expr) NVMGC_CHECK(expr)
+#endif
+
+#endif  // NVMGC_SRC_UTIL_CHECK_H_

@@ -1,0 +1,41 @@
+// Workload profiles modeling the 22 Renaissance 0.10 benchmarks the paper
+// evaluates (db-shootout, page-rank and scala-kmeans are excluded, exactly as
+// in Section 5.1).
+//
+// Each profile encodes the GC-relevant behaviour the paper reports for that
+// application: allocation volume, object size mix (boxed objects vs primitive
+// arrays), survival rate / live-set size, traversal imbalance, and how
+// memory-bound the mutator phase is. The per-app observations called out in
+// the paper are reflected directly: naive-bayes copies many primitive arrays
+// (write-intensive GC, sequential reads), akka-uct has few live objects but a
+// deeply imbalanced traversal, movie-lens is GC-light, scala-stm-bench7 is
+// GC-intensive, and so on.
+
+#ifndef NVMGC_SRC_WORKLOADS_RENAISSANCE_H_
+#define NVMGC_SRC_WORKLOADS_RENAISSANCE_H_
+
+#include <vector>
+
+#include "src/workloads/synthetic_app.h"
+
+namespace nvmgc {
+
+// All 22 evaluated Renaissance profiles, in the paper's figure order.
+std::vector<WorkloadProfile> RenaissanceProfiles();
+
+// One profile by name (CHECK-fails on unknown names).
+WorkloadProfile RenaissanceProfile(const std::string& name);
+
+// The four Spark applications (page-rank, kmeans, cc, sssp) expressed as
+// profiles for sweeps that treat all 26 apps uniformly. The mini-RDD engine
+// in spark.h runs the real algorithms; these profiles match their GC-side
+// behaviour for large parameter sweeps where running the full algorithm per
+// configuration would be wasteful.
+std::vector<WorkloadProfile> SparkProfiles();
+
+// Renaissance + Spark, the 26-application set used by Figures 5, 6, 9-13.
+std::vector<WorkloadProfile> AllApplicationProfiles();
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_WORKLOADS_RENAISSANCE_H_

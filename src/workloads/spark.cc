@@ -1,0 +1,254 @@
+#include "src/workloads/spark.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace nvmgc {
+
+namespace {
+
+// Raw (host-side) payload helpers; the simulated charge is issued separately
+// through the Mutator API.
+double ReadDoubleAt(const KlassTable& klasses, Address object, size_t index) {
+  const Klass& k = klasses.Get(obj::KlassIdOf(object));
+  double v;
+  std::memcpy(&v, reinterpret_cast<const void*>(obj::PayloadOf(object, k) + 8 * index),
+              sizeof(v));
+  return v;
+}
+
+void WriteDoubleAt(const KlassTable& klasses, Address object, size_t index, double v) {
+  const Klass& k = klasses.Get(obj::KlassIdOf(object));
+  std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(object, k) + 8 * index), &v, sizeof(v));
+}
+
+// Shared graph scaffolding for page-rank / cc / sssp.
+struct Graph {
+  KlassId vertex_klass;     // 2 refs: [0]=adjacency, [1]=value; payload: id.
+  KlassId adjacency_klass;  // Ref array of Vertex.
+  KlassId value_klass;      // 0 refs, 8B payload (rank/label/distance).
+  std::unique_ptr<ManagedTable> vertices;
+};
+
+Graph BuildGraph(Vm* vm, Mutator* m, const SparkConfig& config, const char* prefix) {
+  Graph g;
+  KlassTable& klasses = vm->heap().klasses();
+  g.vertex_klass = klasses.RegisterRegular(std::string(prefix) + ".Vertex", 2, 8);
+  g.adjacency_klass = klasses.RegisterRefArray(std::string(prefix) + ".Vertex[]");
+  g.value_klass = klasses.RegisterRegular(std::string(prefix) + ".Value", 0, 8);
+  g.vertices = std::make_unique<ManagedTable>(vm, m, config.vertices);
+
+  for (uint64_t i = 0; i < config.vertices; ++i) {
+    const Address v = m->AllocateRegular(g.vertex_klass);
+    WriteDoubleAt(klasses, v, 0, static_cast<double>(i));
+    g.vertices->Set(i, v);
+  }
+  // Zipf-skewed adjacency (hot vertices attract edges, as in web graphs).
+  ZipfGenerator zipf(config.vertices, 0.75, config.seed);
+  Random rng(config.seed ^ 0xabcdef);
+  for (uint64_t i = 0; i < config.vertices; ++i) {
+    const uint64_t degree = 1 + rng.NextBelow(config.avg_degree * 2);
+    const Address adjacency = m->AllocateRefArray(g.adjacency_klass, degree);
+    for (uint64_t e = 0; e < degree; ++e) {
+      m->WriteRef(adjacency, e, g.vertices->Get(zipf.Next()));
+    }
+    m->WriteRef(g.vertices->Get(i), 0, adjacency);
+  }
+  return g;
+}
+
+// One value-propagation iteration: for every vertex, read neighbors' values,
+// combine, and install a freshly allocated value object. This reproduces the
+// Spark pattern of immutable per-iteration datasets.
+template <typename Combine>
+void PropagateIteration(Vm* vm, Mutator* m, Graph* g, Combine combine) {
+  const KlassTable& klasses = vm->heap().klasses();
+  const uint64_t n = g->vertices->size();
+  for (uint64_t i = 0; i < n; ++i) {
+    const Address v = g->vertices->Get(i);
+    const Address adjacency = m->ReadRef(v, 0);
+    // Seed with the vertex's current value (falling back to its id before the
+    // first iteration has installed one).
+    const Address current = m->ReadRef(v, 1);
+    double acc = current != kNullAddress ? ReadDoubleAt(klasses, current, 0)
+                                         : ReadDoubleAt(klasses, v, 0);
+    if (adjacency != kNullAddress) {
+      const Klass& ak = klasses.Get(obj::KlassIdOf(adjacency));
+      const uint64_t degree = obj::RefSlotCount(adjacency, ak);
+      for (uint64_t e = 0; e < degree; ++e) {
+        const Address neighbor = m->ReadRef(adjacency, e);
+        const Address value = m->ReadRef(neighbor, 1);
+        if (value != kNullAddress) {
+          m->ReadPayload(value, 8);
+          acc = combine(acc, ReadDoubleAt(klasses, value, 0));
+        }
+      }
+    }
+    const Address fresh = m->AllocateRegular(g->value_klass);
+    WriteDoubleAt(klasses, fresh, 0, acc);
+    m->WritePayload(fresh, 8);
+    m->WriteRef(v, 1, fresh);  // Old->young edge once vertices are promoted.
+  }
+}
+
+WorkloadResult Finish(Vm* vm, const char* name, uint64_t start_ns, uint64_t start_gc,
+                      size_t start_gcs) {
+  WorkloadResult r;
+  r.name = name;
+  r.total_ns = vm->now_ns() - start_ns;
+  r.gc_ns = vm->gc_time_ns() - start_gc;
+  r.app_ns = r.total_ns - r.gc_ns;
+  r.gc_count = vm->gc_count() - start_gcs;
+  return r;
+}
+
+}  // namespace
+
+ManagedTable::ManagedTable(Vm* vm, Mutator* mutator, uint64_t entries, uint32_t segment_entries)
+    : vm_(vm), mutator_(mutator), entries_(entries), segment_entries_(segment_entries) {
+  segment_klass_ = vm->heap().klasses().RegisterRefArray("ManagedTable.segment");
+  const uint64_t segments = (entries + segment_entries - 1) / segment_entries;
+  for (uint64_t s = 0; s < segments; ++s) {
+    const uint64_t len = std::min<uint64_t>(segment_entries, entries - s * segment_entries);
+    segments_.push_back(vm->NewRoot(mutator->AllocateRefArray(segment_klass_, len)));
+  }
+}
+
+ManagedTable::~ManagedTable() {
+  for (RootHandle h : segments_) {
+    vm_->ReleaseRoot(h);
+  }
+}
+
+Address ManagedTable::Get(uint64_t index) const {
+  NVMGC_DCHECK(index < entries_);
+  const Address segment = vm_->GetRoot(segments_[index / segment_entries_]);
+  return mutator_->ReadRef(segment, index % segment_entries_);
+}
+
+void ManagedTable::Set(uint64_t index, Address value) {
+  NVMGC_DCHECK(index < entries_);
+  const Address segment = vm_->GetRoot(segments_[index / segment_entries_]);
+  mutator_->WriteRef(segment, index % segment_entries_, value);
+}
+
+WorkloadResult RunPageRank(Vm* vm, const SparkConfig& config) {
+  Mutator* m = vm->CreateMutator();
+  const uint64_t t0 = vm->now_ns();
+  const uint64_t gc0 = vm->gc_time_ns();
+  const size_t n0 = vm->gc_count();
+  Graph g = BuildGraph(vm, m, config, "pagerank");
+  const KlassTable& klasses = vm->heap().klasses();
+  // Initial rank 1/N for every vertex.
+  for (uint64_t i = 0; i < config.vertices; ++i) {
+    const Address rank = m->AllocateRegular(g.value_klass);
+    WriteDoubleAt(klasses, rank, 0, 1.0 / config.vertices);
+    m->WriteRef(g.vertices->Get(i), 1, rank);
+  }
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    PropagateIteration(vm, m, &g, [&](double acc, double rank) {
+      return 0.15 / config.vertices + 0.425 * (acc + rank);
+    });
+  }
+  return Finish(vm, "page-rank", t0, gc0, n0);
+}
+
+WorkloadResult RunConnectedComponents(Vm* vm, const SparkConfig& config) {
+  Mutator* m = vm->CreateMutator();
+  const uint64_t t0 = vm->now_ns();
+  const uint64_t gc0 = vm->gc_time_ns();
+  const size_t n0 = vm->gc_count();
+  Graph g = BuildGraph(vm, m, config, "cc");
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    PropagateIteration(vm, m, &g, [](double acc, double label) { return std::min(acc, label); });
+  }
+  return Finish(vm, "cc", t0, gc0, n0);
+}
+
+WorkloadResult RunSssp(Vm* vm, const SparkConfig& config) {
+  Mutator* m = vm->CreateMutator();
+  const uint64_t t0 = vm->now_ns();
+  const uint64_t gc0 = vm->gc_time_ns();
+  const size_t n0 = vm->gc_count();
+  Graph g = BuildGraph(vm, m, config, "sssp");
+  // Edge relaxation: distance = min(distance, neighbor distance + 1).
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    PropagateIteration(vm, m, &g,
+                       [](double acc, double dist) { return std::min(acc, dist + 1.0); });
+  }
+  return Finish(vm, "sssp", t0, gc0, n0);
+}
+
+WorkloadResult RunKMeans(Vm* vm, const SparkConfig& config) {
+  Mutator* m = vm->CreateMutator();
+  const uint64_t t0 = vm->now_ns();
+  const uint64_t gc0 = vm->gc_time_ns();
+  const size_t n0 = vm->gc_count();
+  KlassTable& klasses = vm->heap().klasses();
+  const KlassId point_klass = klasses.RegisterRegular("kmeans.Point", 0, 32);  // 4 doubles.
+  const KlassId assign_klass = klasses.RegisterRegular("kmeans.Assignment", 1, 16);
+
+  Random rng(config.seed);
+  ManagedTable points(vm, m, config.vertices);
+  for (uint64_t i = 0; i < config.vertices; ++i) {
+    const Address p = m->AllocateRegular(point_klass);
+    for (size_t d = 0; d < 4; ++d) {
+      WriteDoubleAt(klasses, p, d, rng.NextDouble());
+    }
+    m->WritePayload(p, 32);
+    points.Set(i, p);
+  }
+  std::vector<std::array<double, 4>> centroids(config.clusters);
+  for (auto& c : centroids) {
+    for (auto& x : c) {
+      x = rng.NextDouble();
+    }
+  }
+  ManagedTable assignments(vm, m, config.vertices);
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    std::vector<std::array<double, 5>> sums(config.clusters, {0, 0, 0, 0, 0});
+    for (uint64_t i = 0; i < config.vertices; ++i) {
+      const Address p = points.Get(i);
+      m->ReadPayload(p, 32);
+      double best = 1e300;
+      size_t best_c = 0;
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double dist = 0;
+        for (size_t d = 0; d < 4; ++d) {
+          const double delta = ReadDoubleAt(klasses, p, d) - centroids[c][d];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      // Immutable per-iteration assignment record (previous one dies).
+      const Address a = m->AllocateRegular(assign_klass);
+      WriteDoubleAt(klasses, a, 0, static_cast<double>(best_c));
+      WriteDoubleAt(klasses, a, 1, best);
+      m->WritePayload(a, 16);
+      m->WriteRef(a, 0, p);
+      assignments.Set(i, a);
+      for (size_t d = 0; d < 4; ++d) {
+        sums[best_c][d] += ReadDoubleAt(klasses, p, d);
+      }
+      sums[best_c][4] += 1.0;
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (sums[c][4] > 0) {
+        for (size_t d = 0; d < 4; ++d) {
+          centroids[c][d] = sums[c][d] / sums[c][4];
+        }
+      }
+    }
+  }
+  return Finish(vm, "kmeans", t0, gc0, n0);
+}
+
+}  // namespace nvmgc

@@ -1,0 +1,62 @@
+// Miniature Spark-style analytics workloads running real algorithms over the
+// managed heap (page-rank, k-means, connected components, SSSP — the four
+// Spark applications in the paper's evaluation, Section 5.1).
+//
+// The data layout mirrors what makes Spark hostile to copying GC: a long-lived
+// graph of boxed objects (promoted to the old generation) plus per-iteration
+// floods of small, short-lived result objects that replace the previous
+// iteration's results — each iteration's values survive exactly one GC wave
+// and are linked from old objects, so remembered sets and old->young fix-ups
+// are exercised heavily.
+
+#ifndef NVMGC_SRC_WORKLOADS_SPARK_H_
+#define NVMGC_SRC_WORKLOADS_SPARK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/mutator.h"
+#include "src/runtime/vm.h"
+#include "src/workloads/synthetic_app.h"
+
+namespace nvmgc {
+
+struct SparkConfig {
+  uint32_t vertices = 12000;   // Also: points for kmeans.
+  uint32_t avg_degree = 6;     // Zipf-skewed out-degree.
+  uint32_t iterations = 6;
+  uint32_t clusters = 8;       // kmeans only.
+  uint64_t seed = 7;
+};
+
+WorkloadResult RunPageRank(Vm* vm, const SparkConfig& config);
+WorkloadResult RunKMeans(Vm* vm, const SparkConfig& config);
+WorkloadResult RunConnectedComponents(Vm* vm, const SparkConfig& config);
+WorkloadResult RunSssp(Vm* vm, const SparkConfig& config);
+
+// A managed table: a sequence of rooted reference-array segments, used for
+// vertex/point tables larger than a single region allows.
+class ManagedTable {
+ public:
+  ManagedTable(Vm* vm, Mutator* mutator, uint64_t entries, uint32_t segment_entries = 2048);
+  ~ManagedTable();
+
+  ManagedTable(const ManagedTable&) = delete;
+  ManagedTable& operator=(const ManagedTable&) = delete;
+
+  Address Get(uint64_t index) const;
+  void Set(uint64_t index, Address value);
+  uint64_t size() const { return entries_; }
+
+ private:
+  Vm* vm_;
+  Mutator* mutator_;
+  uint64_t entries_;
+  uint32_t segment_entries_;
+  KlassId segment_klass_;
+  std::vector<RootHandle> segments_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_WORKLOADS_SPARK_H_

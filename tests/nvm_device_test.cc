@@ -1,0 +1,211 @@
+// Unit tests for the NVM device simulation substrate.
+
+#include <gtest/gtest.h>
+
+#include "src/nvm/bandwidth_ledger.h"
+#include "src/nvm/bandwidth_model.h"
+#include "src/nvm/device_profile.h"
+#include "src/nvm/memory_device.h"
+#include "src/nvm/prefetch_queue.h"
+#include "src/nvm/sim_clock.h"
+
+namespace nvmgc {
+namespace {
+
+TEST(DeviceProfileTest, OptaneIsSlowerThanDramInLatency) {
+  const DeviceProfile dram = MakeDramProfile();
+  const DeviceProfile nvm = MakeOptaneProfile();
+  EXPECT_GT(nvm.random_read_latency_ns, 2 * dram.random_read_latency_ns);
+  EXPECT_GT(nvm.random_write_latency_ns, dram.random_write_latency_ns);
+}
+
+TEST(DeviceProfileTest, OptaneBandwidthIsAsymmetric) {
+  const DeviceProfile nvm = MakeOptaneProfile();
+  EXPECT_GT(nvm.peak_read_bw_mbps, 2.0 * nvm.peak_write_bw_mbps);
+  EXPECT_GT(nvm.peak_write_nt_bw_mbps, nvm.peak_write_bw_mbps);
+}
+
+TEST(BandwidthModelTest, PureReadReachesCeiling) {
+  BandwidthModel model(MakeOptaneProfile());
+  MixState mix;
+  mix.write_fraction = 0.0;
+  mix.active_threads = model.profile().read_saturation_threads;
+  EXPECT_NEAR(model.TotalBandwidthMbps(mix), model.profile().peak_read_bw_mbps, 1.0);
+}
+
+TEST(BandwidthModelTest, PureNonTemporalWriteReachesNtCeiling) {
+  BandwidthModel model(MakeOptaneProfile());
+  MixState mix;
+  mix.write_fraction = 1.0;
+  mix.nt_write_fraction = 1.0;
+  mix.active_threads = 4;
+  EXPECT_NEAR(model.TotalBandwidthMbps(mix), model.profile().peak_write_nt_bw_mbps, 1.0);
+}
+
+TEST(BandwidthModelTest, MixedWorkloadCollapsesOnNvm) {
+  BandwidthModel model(MakeOptaneProfile());
+  MixState pure_read{0.0, 0.0, 8};
+  MixState mixed{0.3, 0.0, 8};
+  const double read_bw = model.TotalBandwidthMbps(pure_read);
+  const double mixed_bw = model.TotalBandwidthMbps(mixed);
+  // The paper's core observation: a modest write share destroys total NVM
+  // bandwidth far beyond the harmonic blend.
+  EXPECT_LT(mixed_bw, 0.35 * read_bw);
+}
+
+TEST(BandwidthModelTest, MixedWorkloadBarelyAffectsDram) {
+  BandwidthModel model(MakeDramProfile());
+  MixState pure_read{0.0, 0.0, 8};
+  MixState mixed{0.3, 0.0, 8};
+  const double ratio = model.TotalBandwidthMbps(mixed) / model.TotalBandwidthMbps(pure_read);
+  EXPECT_GT(ratio, 0.55);
+}
+
+TEST(BandwidthModelTest, NonTemporalWritesInterfereLess) {
+  BandwidthModel model(MakeOptaneProfile());
+  MixState regular{0.3, 0.0, 8};
+  MixState nt{0.3, 0.3, 8};
+  EXPECT_GT(model.TotalBandwidthMbps(nt), 1.3 * model.TotalBandwidthMbps(regular));
+}
+
+TEST(BandwidthModelTest, NvmWriteSideSaturatesEarly) {
+  BandwidthModel model(MakeOptaneProfile());
+  const double bw4 = model.WriteCeilingMbps(4, 0.0);
+  const double bw8 = model.WriteCeilingMbps(8, 0.0);
+  const double bw56 = model.WriteCeilingMbps(56, 0.0);
+  EXPECT_NEAR(bw4, model.profile().peak_write_bw_mbps, 1.0);
+  EXPECT_LE(bw8, bw4);
+  EXPECT_LT(bw56, bw8);  // Contention decline beyond the knee.
+}
+
+TEST(BandwidthModelTest, DramReadScalesWithThreads) {
+  BandwidthModel model(MakeDramProfile());
+  EXPECT_GT(model.ReadCeilingMbps(16), 1.9 * model.ReadCeilingMbps(8));
+}
+
+TEST(SimClockTest, AdvanceAndSync) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.Advance(150);
+  EXPECT_EQ(clock.now_ns(), 150u);
+  clock.SyncForwardTo(100);
+  EXPECT_EQ(clock.now_ns(), 150u);
+  clock.SyncForwardTo(400);
+  EXPECT_EQ(clock.now_ns(), 400u);
+}
+
+TEST(MemoryDeviceTest, RandomReadPaysLatency) {
+  MemoryDevice dev(MakeOptaneProfile());
+  SimClock clock;
+  const uint64_t cost = dev.Access(&clock, RandomRead(0x1000, 64));
+  EXPECT_GE(cost, dev.profile().random_read_latency_ns);
+  EXPECT_EQ(clock.now_ns(), cost);
+}
+
+TEST(MemoryDeviceTest, PrefetchedReadIsCheaper) {
+  MemoryDevice dev(MakeOptaneProfile());
+  SimClock clock;
+  AccessDescriptor plain = RandomRead(0x1000, 64);
+  AccessDescriptor prefetched = plain;
+  prefetched.prefetched = true;
+  EXPECT_LT(dev.CostNs(0, prefetched), dev.CostNs(0, plain) / 2);
+}
+
+TEST(MemoryDeviceTest, SequentialBigAccessDominatedByBandwidth) {
+  MemoryDevice dev(MakeOptaneProfile());
+  SimClock clock;
+  const uint64_t small = dev.Access(&clock, SequentialRead(0x0, 64));
+  const uint64_t big = dev.Access(&clock, SequentialRead(0x0, 1 << 20));
+  EXPECT_GT(big, 100 * small);
+}
+
+TEST(MemoryDeviceTest, CountersTrackTraffic) {
+  MemoryDevice dev(MakeDramProfile());
+  SimClock clock;
+  dev.Access(&clock, RandomRead(0x0, 128));
+  dev.Access(&clock, NonTemporalWrite(0x40, 256));
+  const DeviceCounters c = dev.counters();
+  EXPECT_EQ(c.read_bytes, 128u);
+  EXPECT_EQ(c.write_bytes, 256u);
+  EXPECT_EQ(c.nt_write_bytes, 256u);
+  EXPECT_EQ(c.read_ops, 1u);
+  EXPECT_EQ(c.write_ops, 1u);
+}
+
+TEST(MemoryDeviceTest, MoreActiveThreadsShrinkPerThreadShare) {
+  MemoryDevice dev(MakeOptaneProfile());
+  // Saturate write mix so total bandwidth stops scaling with threads.
+  SimClock warm;
+  for (int i = 0; i < 200; ++i) {
+    dev.Access(&warm, SequentialWrite(0x0, 4096));
+  }
+  AccessDescriptor big_write = SequentialWrite(0x0, 1 << 20);
+  const uint64_t at8 = [&] {
+    ScopedDeviceActivity activity(&dev, 8);
+    return dev.CostNs(warm.now_ns(), big_write);
+  }();
+  const uint64_t at56 = [&] {
+    ScopedDeviceActivity activity(&dev, 56);
+    return dev.CostNs(warm.now_ns(), big_write);
+  }();
+  EXPECT_GT(at56, 3 * at8);
+}
+
+TEST(BandwidthLedgerTest, MixReflectsRecentTraffic) {
+  BandwidthLedger ledger(1000);
+  AccessDescriptor read = SequentialRead(0, 3000);
+  AccessDescriptor write = SequentialWrite(0, 1000);
+  ledger.Charge(500, read);
+  ledger.Charge(600, write);
+  const auto mix = ledger.SampleMix(700);
+  EXPECT_NEAR(mix.write_fraction, 0.25, 1e-9);
+  EXPECT_EQ(mix.window_bytes, 4000u);
+}
+
+TEST(BandwidthLedgerTest, OldTrafficAgesOut) {
+  BandwidthLedger ledger(1000);
+  ledger.Charge(0, SequentialWrite(0, 1 << 20));
+  const auto mix = ledger.SampleMix(1'000'000);  // 1000 buckets later.
+  EXPECT_EQ(mix.window_bytes, 0u);
+  EXPECT_EQ(mix.write_fraction, 0.0);
+}
+
+TEST(BandwidthRecorderTest, SeriesBucketsBytes) {
+  BandwidthRecorder rec(1'000'000, 16);  // 1ms buckets.
+  rec.Start(0);
+  rec.Charge(100, SequentialRead(0, 1'000'000));       // Bucket 0: 1 MB read.
+  rec.Charge(1'500'000, SequentialWrite(0, 500'000));  // Bucket 1: 0.5 MB write.
+  const auto series = rec.Series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0].read_mbps, 1000.0, 1.0);   // 1MB per ms = 1000 MB/s.
+  EXPECT_NEAR(series[1].write_mbps, 500.0, 1.0);
+  EXPECT_EQ(series[0].time_ns, 0u);
+  EXPECT_EQ(series[1].time_ns, 1'000'000u);
+}
+
+TEST(PrefetchQueueTest, HitThenConsume) {
+  PrefetchQueue q;
+  q.Prefetch(0x12345);
+  EXPECT_TRUE(q.Consume(0x12345));
+  EXPECT_FALSE(q.Consume(0x12345));  // One-shot.
+  EXPECT_EQ(q.issued(), 1u);
+  EXPECT_EQ(q.hits(), 1u);
+}
+
+TEST(PrefetchQueueTest, SameLineMatches) {
+  PrefetchQueue q;
+  q.Prefetch(0x1000);
+  EXPECT_TRUE(q.Consume(0x103F));  // Same 64B line.
+}
+
+TEST(PrefetchQueueTest, CapacityEvictsOldest) {
+  PrefetchQueue q;
+  q.Prefetch(0x40);
+  for (size_t i = 0; i < PrefetchQueue::kCapacity; ++i) {
+    q.Prefetch(0x100000 + i * 64);
+  }
+  EXPECT_FALSE(q.Consume(0x40));
+}
+
+}  // namespace
+}  // namespace nvmgc

@@ -1,0 +1,188 @@
+// Unit tests for src/util.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/util/histogram.h"
+#include "src/util/random.h"
+#include "src/util/table_printer.h"
+
+namespace nvmgc {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RandomTest, NextBelowStaysInBounds) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(r.NextBelow(0), 0u);
+  EXPECT_EQ(r.NextBelow(1), 0u);
+}
+
+TEST(RandomTest, NextBelowIsRoughlyUniform) {
+  Random r(9);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[r.NextBelow(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random r(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = r.NextInRange(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All three values appear.
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoolMatchesProbability) {
+  Random r(17);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    heads += r.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 30000, 1200);
+}
+
+TEST(ZipfTest, StaysInRangeAndIsSkewed) {
+  ZipfGenerator zipf(1000, 0.9, 21);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Head keys dominate the tail under a zipfian law.
+  int head = 0;
+  for (uint64_t k = 0; k < 10; ++k) {
+    head += counts.count(k) ? counts[k] : 0;
+  }
+  EXPECT_GT(head, 50000 / 5);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Percentile(50), 1000, 1000 * 0.07);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Random r(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(r.NextBelow(1'000'000));
+  }
+  const uint64_t p50 = h.Percentile(50);
+  const uint64_t p95 = h.Percentile(95);
+  const uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 500'000, 50'000);
+  EXPECT_NEAR(p99, 990'000, 40'000);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, LargeValuesBucketedWithBoundedError) {
+  Histogram h;
+  const uint64_t value = 123'456'789'000ULL;
+  h.Record(value);
+  const uint64_t p = h.Percentile(100);
+  EXPECT_NEAR(static_cast<double>(p), static_cast<double>(value), value * 0.07);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(TablePrinterTest, AddRowRequiresMatchingWidth) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_DEATH(t.AddRow({"only-one"}), "NVMGC_CHECK");
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  char buf[256] = {0};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.PrintCsv(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "x,y\n1,2\n");
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(FormatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(FormatSiBytes(1024), "1.0 KiB");
+  EXPECT_EQ(FormatSiBytes(3 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(FormatMillis(1500.0), "1.50 s");
+  EXPECT_EQ(FormatMillis(12.5), "12.50 ms");
+}
+
+}  // namespace
+}  // namespace nvmgc

@@ -1,0 +1,180 @@
+// Tests for the write cache: region pairing, address mapping, capacity
+// bounding, retraction, and synchronous/asynchronous flushing.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/core/write_cache.h"
+#include "src/nvm/memory_device.h"
+
+namespace nvmgc {
+namespace {
+
+class WriteCacheTest : public ::testing::Test {
+ protected:
+  WriteCacheTest() : nvm_(MakeOptaneProfile()), dram_(MakeDramProfile()) {
+    HeapConfig config;
+    config.region_bytes = 64 * 1024;
+    config.heap_regions = 32;
+    config.dram_cache_regions = 8;
+    config.eden_regions = 8;
+    config.heap_device = DeviceKind::kNvm;
+    heap_ = std::make_unique<Heap>(config, &nvm_, &dram_);
+  }
+
+  GcOptions Options(bool async = false, bool unlimited = false, size_t cap = 0) {
+    GcOptions o;
+    o.use_write_cache = true;
+    o.write_cache_bytes = cap;
+    o.unlimited_write_cache = unlimited;
+    o.use_non_temporal = true;
+    o.async_flush = async;
+    return o;
+  }
+
+  MemoryDevice nvm_;
+  MemoryDevice dram_;
+  std::unique_ptr<Heap> heap_;
+  SimClock clock_;
+  GcCycleStats stats_;
+};
+
+TEST_F(WriteCacheTest, AllocateMapsCacheToTwin) {
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  EXPECT_TRUE(heap_->InCacheArena(a.physical));
+  EXPECT_TRUE(heap_->InHeapArena(a.final));
+  EXPECT_EQ(a.final - a.twin_region->bottom(), a.physical - a.cache_region->bottom());
+  EXPECT_EQ(a.twin_region->type(), RegionType::kSurvivor);
+  EXPECT_EQ(a.twin_region->cache_twin(), a.cache_region);
+  EXPECT_EQ(a.cache_region->cache_twin(), a.twin_region);
+}
+
+TEST_F(WriteCacheTest, PhysicalTranslationWhileStagedAndAfterFlush) {
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  EXPECT_EQ(WriteCache::Physical(heap_.get(), a.final), a.physical);
+  // Write recognizable bytes through the staging copy.
+  std::memset(reinterpret_cast<void*>(a.physical), 0xAB, 64);
+  cache.FlushRemaining(0, 1, &clock_, &stats_);
+  // After the flush the final address holds the bytes and translation is id.
+  EXPECT_EQ(WriteCache::Physical(heap_.get(), a.final), a.final);
+  EXPECT_EQ(*reinterpret_cast<uint8_t*>(a.final), 0xAB);
+  EXPECT_EQ(stats_.regions_flushed_sync, 1u);
+  EXPECT_TRUE(a.twin_region->flushed());
+  EXPECT_EQ(a.twin_region->used(), 64u);
+}
+
+TEST_F(WriteCacheTest, RetractRollsBackBump) {
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 128, &a, 1, &clock_, &stats_));
+  const size_t staged_before = cache.staged_bytes();
+  cache.Retract(a, 128);
+  EXPECT_EQ(cache.staged_bytes(), staged_before - 128);
+  WriteCache::Allocation b;
+  ASSERT_TRUE(cache.Allocate(&state, 128, &b, 1, &clock_, &stats_));
+  EXPECT_EQ(b.physical, a.physical);  // Space was reclaimed.
+}
+
+TEST_F(WriteCacheTest, CapacityBoundStopsStaging) {
+  WriteCache cache(heap_.get(), Options(false, false, 64 * 1024));  // One region.
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  size_t staged = 0;
+  while (cache.Allocate(&state, 1024, &a, 1, &clock_, &stats_)) {
+    staged += 1024;
+    if (staged > 1024 * 1024) {
+      FAIL() << "capacity bound not enforced";
+    }
+  }
+  EXPECT_GE(staged, 64u * 1024);        // Filled the region it had started.
+  EXPECT_LE(staged, 2u * 64 * 1024);    // But stopped promptly at the cap.
+}
+
+TEST_F(WriteCacheTest, UnlimitedIgnoresCap) {
+  WriteCache cache(heap_.get(), Options(false, true, 1024));
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache.Allocate(&state, 1024, &a, 1, &clock_, &stats_));
+  }
+  EXPECT_GT(cache.staged_bytes(), 1024u * 64);
+}
+
+TEST_F(WriteCacheTest, AsyncFlushRequiresClosedAndNoPendingSlots) {
+  WriteCache cache(heap_.get(), Options(/*async=*/true));
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  Region* twin = a.twin_region;
+  Region* cache_region = a.cache_region;
+
+  cache_region->AddPendingSlots(1);
+  cache.MaybeAsyncFlush(twin, &clock_, &stats_);
+  EXPECT_EQ(stats_.regions_flushed_async, 0u);  // Still open + pending.
+
+  cache_region->set_closed(true);
+  cache.MaybeAsyncFlush(twin, &clock_, &stats_);
+  EXPECT_EQ(stats_.regions_flushed_async, 0u);  // Pending slot outstanding.
+
+  cache_region->AddPendingSlots(-1);
+  cache.MaybeAsyncFlush(twin, &clock_, &stats_);
+  EXPECT_EQ(stats_.regions_flushed_async, 1u);
+  EXPECT_TRUE(twin->flushed());
+}
+
+TEST_F(WriteCacheTest, StealTaintSuppressesAsyncFlush) {
+  WriteCache cache(heap_.get(), Options(/*async=*/true));
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  a.cache_region->set_closed(true);
+  a.cache_region->set_steal_tainted(true);
+  cache.MaybeAsyncFlush(a.twin_region, &clock_, &stats_);
+  EXPECT_EQ(stats_.regions_flushed_async, 0u);
+  // The synchronous end-of-pause flush still handles it (and counts taint).
+  cache.FlushRemaining(0, 1, &clock_, &stats_);
+  EXPECT_EQ(stats_.regions_flushed_sync, 1u);
+  EXPECT_EQ(stats_.regions_steal_tainted, 1u);
+}
+
+TEST_F(WriteCacheTest, FlushChargesNonTemporalWrites) {
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 4096, &a, 1, &clock_, &stats_));
+  const DeviceCounters before = nvm_.counters();
+  cache.FlushRemaining(0, 1, &clock_, &stats_);
+  const DeviceCounters delta = nvm_.counters() - before;
+  EXPECT_EQ(delta.nt_write_bytes, 4096u);
+  EXPECT_EQ(delta.write_bytes, 4096u);
+}
+
+TEST_F(WriteCacheTest, TakePauseTwinsResets) {
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  ASSERT_TRUE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  cache.FlushRemaining(0, 1, &clock_, &stats_);
+  const auto twins = cache.TakePauseTwins();
+  EXPECT_EQ(twins.size(), 1u);
+  EXPECT_EQ(cache.staged_bytes(), 0u);
+  EXPECT_TRUE(cache.TakePauseTwins().empty());
+}
+
+TEST_F(WriteCacheTest, DefaultCapacityIsHeapOver32) {
+  GcOptions o;
+  o.use_write_cache = true;
+  WriteCache cache(heap_.get(), o);
+  EXPECT_EQ(cache.capacity_bytes(), heap_->heap_arena_bytes() / 32);
+}
+
+}  // namespace
+}  // namespace nvmgc
