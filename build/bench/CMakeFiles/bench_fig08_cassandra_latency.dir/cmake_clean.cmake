@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cassandra_latency.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig08_cassandra_latency.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig08_cassandra_latency.dir/bench_fig08_cassandra_latency.cc.o"
+  "CMakeFiles/bench_fig08_cassandra_latency.dir/bench_fig08_cassandra_latency.cc.o.d"
+  "bench_fig08_cassandra_latency"
+  "bench_fig08_cassandra_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cassandra_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_writecache.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_writecache.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_writecache.dir/bench_fig11_writecache.cc.o"
+  "CMakeFiles/bench_fig11_writecache.dir/bench_fig11_writecache.cc.o.d"
+  "bench_fig11_writecache"
+  "bench_fig11_writecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_writecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cost_efficiency.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_cost_efficiency.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_cost_efficiency.dir/bench_fig12_cost_efficiency.cc.o"
+  "CMakeFiles/bench_fig12_cost_efficiency.dir/bench_fig12_cost_efficiency.cc.o.d"
+  "bench_fig12_cost_efficiency"
+  "bench_fig12_cost_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cost_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ps_collector.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_ps_collector.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_ps_collector.dir/bench_fig14_ps_collector.cc.o"
+  "CMakeFiles/bench_fig14_ps_collector.dir/bench_fig14_ps_collector.cc.o.d"
+  "bench_fig14_ps_collector"
+  "bench_fig14_ps_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ps_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_prefetch_micro.dir/bench_common.cc.o"
+  "CMakeFiles/bench_tbl_prefetch_micro.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_tbl_prefetch_micro.dir/bench_tbl_prefetch_micro.cc.o"
+  "CMakeFiles/bench_tbl_prefetch_micro.dir/bench_tbl_prefetch_micro.cc.o.d"
+  "bench_tbl_prefetch_micro"
+  "bench_tbl_prefetch_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_prefetch_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

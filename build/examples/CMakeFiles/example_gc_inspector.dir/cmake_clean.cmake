@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gc_inspector.dir/gc_inspector.cpp.o"
+  "CMakeFiles/example_gc_inspector.dir/gc_inspector.cpp.o.d"
+  "example_gc_inspector"
+  "example_gc_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gc_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

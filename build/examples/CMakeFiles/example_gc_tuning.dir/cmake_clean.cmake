@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gc_tuning.dir/gc_tuning.cpp.o"
+  "CMakeFiles/example_gc_tuning.dir/gc_tuning.cpp.o.d"
+  "example_gc_tuning"
+  "example_gc_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gc_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spark_pagerank.dir/spark_pagerank.cpp.o"
+  "CMakeFiles/example_spark_pagerank.dir/spark_pagerank.cpp.o.d"
+  "example_spark_pagerank"
+  "example_spark_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spark_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/header_map.cc" "src/CMakeFiles/nvmgc.dir/core/header_map.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/core/header_map.cc.o.d"
+  "/root/repo/src/core/write_cache.cc" "src/CMakeFiles/nvmgc.dir/core/write_cache.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/core/write_cache.cc.o.d"
+  "/root/repo/src/gc/copy_collector.cc" "src/CMakeFiles/nvmgc.dir/gc/copy_collector.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/gc/copy_collector.cc.o.d"
+  "/root/repo/src/gc/gc_thread_pool.cc" "src/CMakeFiles/nvmgc.dir/gc/gc_thread_pool.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/gc/gc_thread_pool.cc.o.d"
+  "/root/repo/src/gc/old_reclaim.cc" "src/CMakeFiles/nvmgc.dir/gc/old_reclaim.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/gc/old_reclaim.cc.o.d"
+  "/root/repo/src/heap/heap.cc" "src/CMakeFiles/nvmgc.dir/heap/heap.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/heap/heap.cc.o.d"
+  "/root/repo/src/heap/heap_verifier.cc" "src/CMakeFiles/nvmgc.dir/heap/heap_verifier.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/heap/heap_verifier.cc.o.d"
+  "/root/repo/src/heap/klass.cc" "src/CMakeFiles/nvmgc.dir/heap/klass.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/heap/klass.cc.o.d"
+  "/root/repo/src/heap/region.cc" "src/CMakeFiles/nvmgc.dir/heap/region.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/heap/region.cc.o.d"
+  "/root/repo/src/nvm/bandwidth_ledger.cc" "src/CMakeFiles/nvmgc.dir/nvm/bandwidth_ledger.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/nvm/bandwidth_ledger.cc.o.d"
+  "/root/repo/src/nvm/bandwidth_model.cc" "src/CMakeFiles/nvmgc.dir/nvm/bandwidth_model.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/nvm/bandwidth_model.cc.o.d"
+  "/root/repo/src/nvm/device_profile.cc" "src/CMakeFiles/nvmgc.dir/nvm/device_profile.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/nvm/device_profile.cc.o.d"
+  "/root/repo/src/nvm/memory_device.cc" "src/CMakeFiles/nvmgc.dir/nvm/memory_device.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/nvm/memory_device.cc.o.d"
+  "/root/repo/src/runtime/gc_report.cc" "src/CMakeFiles/nvmgc.dir/runtime/gc_report.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/runtime/gc_report.cc.o.d"
+  "/root/repo/src/runtime/mutator.cc" "src/CMakeFiles/nvmgc.dir/runtime/mutator.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/runtime/mutator.cc.o.d"
+  "/root/repo/src/runtime/vm.cc" "src/CMakeFiles/nvmgc.dir/runtime/vm.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/runtime/vm.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/nvmgc.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/nvmgc.dir/util/random.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/nvmgc.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workloads/cassandra.cc" "src/CMakeFiles/nvmgc.dir/workloads/cassandra.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/workloads/cassandra.cc.o.d"
+  "/root/repo/src/workloads/prefetch_micro.cc" "src/CMakeFiles/nvmgc.dir/workloads/prefetch_micro.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/workloads/prefetch_micro.cc.o.d"
+  "/root/repo/src/workloads/renaissance.cc" "src/CMakeFiles/nvmgc.dir/workloads/renaissance.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/workloads/renaissance.cc.o.d"
+  "/root/repo/src/workloads/spark.cc" "src/CMakeFiles/nvmgc.dir/workloads/spark.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/workloads/spark.cc.o.d"
+  "/root/repo/src/workloads/synthetic_app.cc" "src/CMakeFiles/nvmgc.dir/workloads/synthetic_app.cc.o" "gcc" "src/CMakeFiles/nvmgc.dir/workloads/synthetic_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

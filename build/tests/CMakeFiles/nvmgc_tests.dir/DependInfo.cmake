@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bandwidth_observability_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/bandwidth_observability_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/bandwidth_observability_test.cc.o.d"
+  "/root/repo/tests/gc_integration_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/gc_integration_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/gc_integration_test.cc.o.d"
+  "/root/repo/tests/gc_property_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/gc_property_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/gc_property_test.cc.o.d"
+  "/root/repo/tests/header_map_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/header_map_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/header_map_test.cc.o.d"
+  "/root/repo/tests/heap_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/heap_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/heap_test.cc.o.d"
+  "/root/repo/tests/nvm_device_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/nvm_device_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/nvm_device_test.cc.o.d"
+  "/root/repo/tests/old_reclaim_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/old_reclaim_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/old_reclaim_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/spark_semantics_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/spark_semantics_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/spark_semantics_test.cc.o.d"
+  "/root/repo/tests/task_queue_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/task_queue_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/task_queue_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/workloads_test.cc.o.d"
+  "/root/repo/tests/write_cache_test.cc" "tests/CMakeFiles/nvmgc_tests.dir/write_cache_test.cc.o" "gcc" "tests/CMakeFiles/nvmgc_tests.dir/write_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvmgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

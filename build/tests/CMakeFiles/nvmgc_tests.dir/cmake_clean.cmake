@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmgc_tests.dir/bandwidth_observability_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/bandwidth_observability_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/gc_integration_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/gc_integration_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/gc_property_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/gc_property_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/header_map_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/header_map_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/heap_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/heap_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/nvm_device_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/nvm_device_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/old_reclaim_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/old_reclaim_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/runtime_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/runtime_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/spark_semantics_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/spark_semantics_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/task_queue_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/task_queue_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/util_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/util_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/workloads_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/workloads_test.cc.o.d"
+  "CMakeFiles/nvmgc_tests.dir/write_cache_test.cc.o"
+  "CMakeFiles/nvmgc_tests.dir/write_cache_test.cc.o.d"
+  "nvmgc_tests"
+  "nvmgc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmgc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nvmgc_tests.
+# This may be replaced when dependencies are built.
