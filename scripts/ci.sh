@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI: build and test both configurations.
+#
+#   default   RelWithDebInfo            -> build/
+#   sanitize  Debug + ASan/UBSan        -> build-sanitize/
+#
+# Both run the full ctest suite, including the nvmgc_fault_stress entry
+# (randomized seeded fault plans with heap verification after every GC cycle).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for preset in default sanitize; do
+  echo "=== [${preset}] configure ==="
+  cmake --preset "${preset}"
+  echo "=== [${preset}] build ==="
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "=== [${preset}] test ==="
+  ctest --preset "${preset}" -j "$(nproc)"
+done
+
+echo "CI OK"

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "src/nvm/fault_injector.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -27,6 +28,10 @@ void HeaderMap::ChargeProbe(SimClock* clock, PrefetchQueue* prefetch,
   AccessDescriptor d = RandomRead(probe_addr, sizeof(Entry));
   if (prefetch != nullptr && prefetch->Consume(probe_addr)) {
     d.prefetched = true;
+  }
+  FaultInjector* injector = dram_->fault_injector();
+  if (injector != nullptr && injector->AnyFaultActive(clock->now_ns())) {
+    fault_probes_.fetch_add(1, std::memory_order_relaxed);
   }
   dram_->Access(clock, d);
   clock->Advance(kProbeCpuNs);

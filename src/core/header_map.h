@@ -68,6 +68,10 @@ class HeaderMap {
   uint64_t installs() const { return installs_.load(std::memory_order_relaxed); }
   uint64_t overflows() const { return overflows_.load(std::memory_order_relaxed); }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  // Probes charged while the DRAM device had an active fault window; under
+  // fault-lengthened probing these are the puts/gets whose contention drives
+  // the bounded window into the NVM-header fallback (overflows above).
+  uint64_t fault_probes() const { return fault_probes_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
@@ -90,6 +94,7 @@ class HeaderMap {
   mutable std::atomic<uint64_t> installs_{0};
   mutable std::atomic<uint64_t> overflows_{0};
   mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> fault_probes_{0};
 };
 
 }  // namespace nvmgc

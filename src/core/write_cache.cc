@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/nvm/fault_injector.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -22,21 +23,40 @@ WriteCache::WriteCache(Heap* heap, const GcOptions& options)
                         : heap->heap_arena_bytes() / 32;  // Paper default: heap/32.
 }
 
+void WriteCache::EnterDirectFallback(WriteCacheWorkerState* state, GcCycleStats* stats) {
+  state->direct_fallback = true;
+  stats->cache_fallback_workers += 1;
+}
+
 bool WriteCache::Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation* out,
                           uint64_t gc_epoch, SimClock* clock, GcCycleStats* stats) {
   NVMGC_DCHECK(bytes <= heap_->region_bytes());
+  if (state->direct_fallback) {
+    return false;  // Worker already degraded to direct-to-NVM for this pause.
+  }
   while (true) {
     if (state->cache_region == nullptr) {
       if (!unlimited_ && staged_bytes_.load(std::memory_order_relaxed) >= capacity_bytes_) {
         return false;  // Cap reached: caller copies directly into NVM.
       }
+      FaultInjector* injector = heap_->dram_device()->fault_injector();
+      if (injector != nullptr && !injector->AllowRegionPairAllocation(clock->now_ns())) {
+        // DRAM-pressure fault: staging memory is gone for now. Unlike the
+        // capacity cap (re-checked per object), this degrades the worker for
+        // the rest of the pause.
+        stats->cache_fault_denials += 1;
+        EnterDirectFallback(state, stats);
+        return false;
+      }
       Region* cache = heap_->AllocateCacheRegion();
       if (cache == nullptr) {
+        EnterDirectFallback(state, stats);
         return false;  // DRAM arena exhausted.
       }
       Region* twin = heap_->AllocateRegion(RegionType::kSurvivor);
       if (twin == nullptr) {
         heap_->FreeCacheRegion(cache);
+        EnterDirectFallback(state, stats);
         return false;
       }
       twin->set_gc_epoch(gc_epoch);
@@ -91,13 +111,13 @@ void WriteCache::ClosePair(WriteCacheWorkerState* state, SimClock* clock, GcCycl
     return;
   }
   cache->set_closed(true);
-  if (async_) {
+  if (async_enabled()) {
     MaybeAsyncFlush(twin, clock, stats);
   }
 }
 
 void WriteCache::MaybeAsyncFlush(Region* twin, SimClock* clock, GcCycleStats* stats) {
-  if (!async_ || twin == nullptr) {
+  if (!async_enabled() || twin == nullptr) {
     return;
   }
   Region* cache = twin->cache_twin();
@@ -145,7 +165,7 @@ void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, b
   if (used > 0) {
     heap_->dram_device()->Access(clock,
                                  SequentialRead(cache->bottom(), static_cast<uint32_t>(used)));
-    AccessDescriptor write = non_temporal_
+    AccessDescriptor write = non_temporal_enabled()
                                  ? NonTemporalWrite(twin->bottom(), static_cast<uint32_t>(used))
                                  : SequentialWrite(twin->bottom(), static_cast<uint32_t>(used));
     heap_->heap_device()->Access(clock, write);

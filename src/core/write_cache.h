@@ -35,6 +35,10 @@ namespace nvmgc {
 struct WriteCacheWorkerState {
   Region* cache_region = nullptr;
   Region* twin_region = nullptr;  // NVM survivor twin providing final addresses.
+  // Sticky for the rest of the pause once a cache/twin pair could not be
+  // allocated (DRAM arena exhausted, or denied by a fault-injected pressure
+  // window): the worker copies survivors directly to NVM instead of aborting.
+  bool direct_fallback = false;
 };
 
 class WriteCache {
@@ -51,7 +55,10 @@ class WriteCache {
   // Attempts to stage `bytes` for `state`'s worker. Returns false when the
   // cache cannot supply space (capacity cap reached or DRAM arena exhausted);
   // the caller then copies directly to NVM, exactly as the paper's bounded
-  // write cache does.
+  // write cache does. A pair-allocation failure (arena exhausted or denied by
+  // the DRAM device's fault injector) flips `state` into the sticky
+  // direct-to-NVM fallback for the remainder of the pause, recorded in
+  // `stats`.
   bool Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation* out,
                 uint64_t gc_epoch, SimClock* clock, GcCycleStats* stats);
 
@@ -80,7 +87,17 @@ class WriteCache {
   size_t capacity_bytes() const { return capacity_bytes_; }
   bool unlimited() const { return unlimited_; }
 
+  // Degraded mode (set per pause by the collector under sustained device
+  // throttling): asynchronous flushing and non-temporal stores are disabled so
+  // the write-back is a plain synchronous stream of cache-line stores.
+  void SetDegraded(bool degraded) { degraded_.store(degraded, std::memory_order_relaxed); }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  bool async_enabled() const { return async_ && !degraded(); }
+  bool non_temporal_enabled() const { return non_temporal_ && !degraded(); }
+
  private:
+  // Flips the worker into the sticky direct-to-NVM fallback.
+  static void EnterDirectFallback(WriteCacheWorkerState* state, GcCycleStats* stats);
   // Closes the worker's current pair (region full) and, in async mode,
   // attempts to flush it.
   void ClosePair(WriteCacheWorkerState* state, SimClock* clock, GcCycleStats* stats);
@@ -95,6 +112,7 @@ class WriteCache {
   const bool unlimited_;
   size_t capacity_bytes_;
 
+  std::atomic<bool> degraded_{false};
   std::atomic<size_t> staged_bytes_{0};
 
   std::mutex mu_;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/nvm/fault_injector.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -62,6 +63,17 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   ++gc_epoch_;
   const uint64_t t0 = app_clock->now_ns();
   NVMGC_CHECK(queues_->AllEmpty());
+
+  // Degraded mode: a pause that starts inside a sustained-throttle window
+  // runs with asynchronous flushing and non-temporal stores disabled — mixed
+  // NT traffic on a throttled device makes the collapse worse, and async
+  // flushes would race the shrinking bandwidth. Re-evaluated every pause, so
+  // the optimizations come back the first pause after the window closes.
+  FaultInjector* injector = heap_->heap_device()->fault_injector();
+  bool degraded = options_.auto_degrade && injector != nullptr && injector->ThrottleActive(t0);
+  if (write_cache_ != nullptr) {
+    write_cache_->SetDegraded(degraded);
+  }
 
   // --- Build the collection set: all young regions. ---
   std::vector<Region*> cset;
@@ -126,6 +138,17 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
                  static_cast<unsigned long long>(max_objs));
   }
 
+  // A throttle window that opened mid-pause still degrades the write-back:
+  // whatever was not already flushed asynchronously goes back synchronously
+  // with cache-line stores.
+  if (!degraded && options_.auto_degrade && injector != nullptr &&
+      injector->ThrottleActive(read_end)) {
+    degraded = true;
+    if (write_cache_ != nullptr) {
+      write_cache_->SetDegraded(true);
+    }
+  }
+
   // --- Write-only sub-phase: stream cache regions to NVM, clear header map. ---
   uint64_t pause_end = read_end;
   if (write_cache_ != nullptr || HeaderMapActive()) {
@@ -177,17 +200,23 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     cycle.regions_flushed_sync += l.regions_flushed_sync;
     cycle.regions_flushed_async += l.regions_flushed_async;
     cycle.regions_steal_tainted += l.regions_steal_tainted;
+    cycle.cache_fault_denials += l.cache_fault_denials;
+    cycle.cache_fallback_workers += l.cache_fallback_workers;
+    cycle.cache_fallback_bytes += l.cache_fallback_bytes;
     cycle.prefetches_issued += l.prefetches_issued;
     cycle.prefetch_hits += w.prefetch.hits();
   }
+  cycle.degraded_mode = degraded ? 1 : 0;
   if (header_map_ != nullptr) {
     // Header-map counters are monotonic; report per-cycle deltas.
     cycle.header_map_installs = header_map_->installs() - last_hm_installs_;
     cycle.header_map_overflows = header_map_->overflows() - last_hm_overflows_;
     cycle.header_map_hits = header_map_->hits() - last_hm_hits_;
+    cycle.header_map_fault_probes = header_map_->fault_probes() - last_hm_fault_probes_;
     last_hm_installs_ = header_map_->installs();
     last_hm_overflows_ = header_map_->overflows();
     last_hm_hits_ = header_map_->hits();
+    last_hm_fault_probes_ = header_map_->fault_probes();
   }
   const DeviceCounters after = heap_->heap_device()->counters();
   cycle.device_read_bytes = (after - before).read_bytes;
@@ -417,6 +446,9 @@ void CopyCollector::AllocateTarget(Worker* w, size_t size, bool promote, CopyTar
         return;
       }
       w->local.cache_overflow_bytes += size;
+      if (w->cache_state.direct_fallback) {
+        w->local.cache_fallback_bytes += size;
+      }
     } else {
       // PS-style LAB policy: the object is copied outside the buffers the
       // cache stages, so its writes land on NVM directly (Section 4.4).

@@ -115,6 +115,7 @@ class CopyCollector {
   uint64_t last_hm_installs_ = 0;
   uint64_t last_hm_overflows_ = 0;
   uint64_t last_hm_hits_ = 0;
+  uint64_t last_hm_fault_probes_ = 0;
   GcStats stats_;
 };
 

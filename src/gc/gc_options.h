@@ -47,6 +47,13 @@ struct GcOptions {
   // PS only: local allocation buffer size; objects larger than lab_bytes/4
   // are copied directly (PS's "irregular" copies that bypass LABs).
   size_t lab_bytes = 64 * 1024;
+
+  // --- Robustness ---
+  // When the attached FaultInjector reports a sustained bandwidth-throttle
+  // window at pause start (or write-back start), run the pause degraded:
+  // asynchronous flushing and non-temporal stores are disabled until a pause
+  // begins outside the window.
+  bool auto_degrade = true;
 };
 
 // --- Presets matching the paper's evaluated configurations ---

@@ -33,6 +33,13 @@ struct GcCycleStats {
   uint64_t header_map_overflows = 0;  // Fell back to NVM header CAS.
   uint64_t header_map_hits = 0;       // Lookups resolved from DRAM.
 
+  // Fault injection & graceful degradation.
+  uint64_t cache_fault_denials = 0;     // Pair allocations denied by the injector.
+  uint64_t cache_fallback_workers = 0;  // Workers degraded to direct-to-NVM copying.
+  uint64_t cache_fallback_bytes = 0;    // Bytes copied directly while degraded.
+  uint64_t degraded_mode = 0;           // 1 when async/NT stores were disabled.
+  uint64_t header_map_fault_probes = 0;  // HM probes charged under an active fault.
+
   // Device traffic deltas over the pause (heap device).
   uint64_t device_read_bytes = 0;
   uint64_t device_write_bytes = 0;
@@ -48,6 +55,16 @@ class GcStats {
 
   const std::vector<GcCycleStats>& cycles() const { return cycles_; }
   size_t gc_count() const { return cycles_.size(); }
+
+  // Cycles that ran with async flushing and non-temporal stores disabled
+  // because the fault injector reported sustained throttling.
+  uint64_t degraded_cycles() const {
+    uint64_t n = 0;
+    for (const auto& c : cycles_) {
+      n += c.degraded_mode;
+    }
+    return n;
+  }
 
   uint64_t total_pause_ns() const {
     uint64_t total = 0;
@@ -77,6 +94,11 @@ class GcStats {
       t.header_map_installs += c.header_map_installs;
       t.header_map_overflows += c.header_map_overflows;
       t.header_map_hits += c.header_map_hits;
+      t.cache_fault_denials += c.cache_fault_denials;
+      t.cache_fallback_workers += c.cache_fallback_workers;
+      t.cache_fallback_bytes += c.cache_fallback_bytes;
+      t.degraded_mode += c.degraded_mode;
+      t.header_map_fault_probes += c.header_map_fault_probes;
       t.device_read_bytes += c.device_read_bytes;
       t.device_write_bytes += c.device_write_bytes;
       t.prefetches_issued += c.prefetches_issued;

@@ -93,6 +93,9 @@ class Heap {
   // Total bytes of DRAM currently lent to staging (for cost accounting).
   size_t cache_arena_bytes() const { return cache_bytes_; }
   size_t heap_arena_bytes() const { return heap_bytes_; }
+  // Arena origin: lets tests compare object placement across Vm instances by
+  // arena offset rather than host address.
+  Address heap_base() const { return heap_base_; }
 
  private:
   Region* AllocateFromFreeList(std::vector<uint32_t>* free_list, Region* regions,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/nvm/fault_injector.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -44,7 +45,10 @@ uint64_t MemoryDevice::CostNs(uint64_t now_ns, const AccessDescriptor& d) const 
 uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
   NVMGC_DCHECK(clock != nullptr);
   const uint64_t now = clock->now_ns();
-  const uint64_t cost = CostNs(now, d);
+  uint64_t cost = CostNs(now, d);
+  if (FaultInjector* injector = injector_.load(std::memory_order_acquire)) {
+    cost = injector->PerturbCost(now, d, cost);
+  }
   clock->Advance(cost);
 
   ledger_.Charge(now, d);

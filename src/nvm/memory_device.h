@@ -23,6 +23,8 @@
 
 namespace nvmgc {
 
+class FaultInjector;
+
 // Aggregate counters, readable at any time. Snapshot subtraction gives
 // per-phase traffic (e.g. bytes moved during one GC pause).
 struct DeviceCounters {
@@ -45,11 +47,21 @@ class MemoryDevice {
   explicit MemoryDevice(DeviceProfile profile);
 
   // Charges `clock` for the access and returns the charged nanoseconds.
-  // Thread-safe.
+  // Thread-safe. When a fault injector is attached, the nominal cost is
+  // perturbed by its active fault windows before charging.
   uint64_t Access(SimClock* clock, const AccessDescriptor& d);
 
-  // Cost preview without charging or accounting (used by tests/models).
+  // Nominal cost preview without charging, accounting, or fault perturbation
+  // (used by tests/models).
   uint64_t CostNs(uint64_t now_ns, const AccessDescriptor& d) const;
+
+  // Fault injection: attach a (non-owned) injector whose plan perturbs every
+  // subsequent access; pass nullptr to detach. The injector must outlive its
+  // attachment.
+  void AttachFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const { return injector_.load(std::memory_order_acquire); }
 
   // Active-thread management: the runtime declares how many logical threads
   // are concurrently issuing traffic (GC workers during a pause, mutators
@@ -90,6 +102,7 @@ class MemoryDevice {
 
   std::atomic<bool> recording_{false};
   std::unique_ptr<BandwidthRecorder> recorder_;
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 // Declares `n` active threads on `device` for the current scope.

@@ -38,6 +38,22 @@ std::string FormatGcCycle(size_t id, const GcCycleStats& cycle) {
                   static_cast<unsigned long long>(cycle.header_map_installs),
                   static_cast<unsigned long long>(cycle.header_map_overflows));
     out += line;
+    if (cycle.header_map_fault_probes > 0) {
+      std::snprintf(line, sizeof(line), " (%llu probes under fault)",
+                    static_cast<unsigned long long>(cycle.header_map_fault_probes));
+      out += line;
+    }
+  }
+  if (cycle.cache_fault_denials > 0 || cycle.cache_fallback_workers > 0) {
+    std::snprintf(line, sizeof(line),
+                  " | cache fallback: %llu workers direct-to-NVM (%s, %llu pair denials)",
+                  static_cast<unsigned long long>(cycle.cache_fallback_workers),
+                  FormatSiBytes(cycle.cache_fallback_bytes).c_str(),
+                  static_cast<unsigned long long>(cycle.cache_fault_denials));
+    out += line;
+  }
+  if (cycle.degraded_mode != 0) {
+    out += " | DEGRADED: sync flush, cache-line stores";
   }
   return out;
 }
@@ -88,6 +104,21 @@ void PrintGcSummary(Vm* vm, std::FILE* out) {
                  static_cast<double>(totals.prefetch_hits) /
                      static_cast<double>(totals.prefetches_issued) * 100.0,
                  static_cast<unsigned long long>(totals.prefetches_issued));
+  }
+  if (totals.degraded_mode > 0) {
+    std::fprintf(out, "  degraded cycles: %llu of %zu (sync flush, cache-line stores)\n",
+                 static_cast<unsigned long long>(totals.degraded_mode), cycles.size());
+  }
+  if (totals.cache_fault_denials > 0 || totals.cache_fallback_workers > 0) {
+    std::fprintf(out,
+                 "  cache fallback:  %llu worker degradations, %llu pair denials, %s direct\n",
+                 static_cast<unsigned long long>(totals.cache_fallback_workers),
+                 static_cast<unsigned long long>(totals.cache_fault_denials),
+                 FormatSiBytes(totals.cache_fallback_bytes).c_str());
+  }
+  if (totals.header_map_fault_probes > 0) {
+    std::fprintf(out, "  faulted probes:  %llu header-map probes under an active fault\n",
+                 static_cast<unsigned long long>(totals.header_map_fault_probes));
   }
 }
 

@@ -3,6 +3,11 @@
 // NVMGC_CHECK is always on (even in release builds): a managed heap that has
 // lost an invariant must fail fast rather than silently corrupt object graphs.
 // NVMGC_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+// NVMGC_CHECK_MSG attaches a context string to the failure report.
+//
+// The failure path writes one self-contained line — file:line, the failed
+// expression, and any message — to stderr in a single write (so concurrent GC
+// workers cannot interleave fragments), flushes, and aborts.
 
 #ifndef NVMGC_SRC_UTIL_CHECK_H_
 #define NVMGC_SRC_UTIL_CHECK_H_
@@ -12,8 +17,20 @@
 
 namespace nvmgc {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
-  std::fprintf(stderr, "NVMGC_CHECK failed at %s:%d: %s\n", file, line, expr);
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* message = nullptr) {
+  char buf[512];
+  const int n =
+      message != nullptr
+          ? std::snprintf(buf, sizeof(buf), "NVMGC_CHECK failed at %s:%d: %s: %s\n", file,
+                          line, expr, message)
+          : std::snprintf(buf, sizeof(buf), "NVMGC_CHECK failed at %s:%d: %s\n", file, line,
+                          expr);
+  if (n > 0) {
+    const size_t len = static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n)
+                                                            : sizeof(buf) - 1;
+    std::fwrite(buf, 1, len, stderr);
+  }
   std::fflush(stderr);
   std::abort();
 }
@@ -25,6 +42,13 @@ namespace nvmgc {
     if (!(expr)) {                                      \
       ::nvmgc::CheckFailed(__FILE__, __LINE__, #expr);  \
     }                                                   \
+  } while (0)
+
+#define NVMGC_CHECK_MSG(expr, msg)                            \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::nvmgc::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                         \
   } while (0)
 
 #ifdef NDEBUG

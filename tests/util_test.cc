@@ -5,12 +5,29 @@
 #include <map>
 #include <set>
 
+#include "src/util/check.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"
 #include "src/util/table_printer.h"
 
 namespace nvmgc {
 namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  NVMGC_CHECK(1 + 1 == 2);
+  NVMGC_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, FailureReportsFileLineAndExpression) {
+  EXPECT_DEATH(NVMGC_CHECK(2 + 2 == 5),
+               "NVMGC_CHECK failed at .*util_test\\.cc:[0-9]+: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailureWithMessageAppendsContext) {
+  EXPECT_DEATH(NVMGC_CHECK_MSG(false, "region 7 lost its twin"),
+               "NVMGC_CHECK failed at .*util_test\\.cc:[0-9]+: false: "
+               "region 7 lost its twin");
+}
 
 TEST(RandomTest, DeterministicForSameSeed) {
   Random a(42);

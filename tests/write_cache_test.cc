@@ -1,12 +1,18 @@
 // Tests for the write cache: region pairing, address mapping, capacity
-// bounding, retraction, and synchronous/asynchronous flushing.
+// bounding, retraction, synchronous/asynchronous flushing, and the
+// direct-to-NVM fallback paths (staging-arena exhaustion and injected DRAM
+// pressure).
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "src/core/write_cache.h"
+#include "src/nvm/fault_injector.h"
 #include "src/nvm/memory_device.h"
+#include "src/runtime/mutator.h"
+#include "src/runtime/vm.h"
 
 namespace nvmgc {
 namespace {
@@ -167,6 +173,118 @@ TEST_F(WriteCacheTest, TakePauseTwinsResets) {
   EXPECT_EQ(twins.size(), 1u);
   EXPECT_EQ(cache.staged_bytes(), 0u);
   EXPECT_TRUE(cache.TakePauseTwins().empty());
+}
+
+TEST_F(WriteCacheTest, ArenaExhaustionDegradesWorkerToDirectCopy) {
+  WriteCache cache(heap_.get(), Options(false, /*unlimited=*/true));
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  size_t pairs = 0;
+  while (cache.Allocate(&state, 64 * 1024, &a, 1, &clock_, &stats_)) {
+    ++pairs;
+    ASSERT_LE(pairs, 8u);
+  }
+  EXPECT_EQ(pairs, 8u);  // Every DRAM staging region was paired and filled.
+  EXPECT_TRUE(state.direct_fallback);
+  EXPECT_EQ(stats_.cache_fallback_workers, 1u);
+  // The fallback is sticky for the rest of the pause: no renewed pair hunt,
+  // no double-counted degradation.
+  EXPECT_FALSE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  EXPECT_EQ(stats_.cache_fallback_workers, 1u);
+}
+
+TEST_F(WriteCacheTest, CapacityCapDoesNotDegradeWorker) {
+  WriteCache cache(heap_.get(), Options(false, false, 64 * 1024));
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  while (cache.Allocate(&state, 1024, &a, 1, &clock_, &stats_)) {
+  }
+  // Unlike exhaustion/faults, the cap is re-evaluated per object and must not
+  // permanently degrade the worker.
+  EXPECT_FALSE(state.direct_fallback);
+  EXPECT_EQ(stats_.cache_fallback_workers, 0u);
+}
+
+TEST_F(WriteCacheTest, DramPressureFaultForcesStickyDirectFallback) {
+  FaultPlan plan;
+  plan.AddDramPressure(0, 1'000'000);
+  FaultInjector injector(plan);
+  dram_.AttachFaultInjector(&injector);
+  WriteCache cache(heap_.get(), Options());
+  WriteCacheWorkerState state;
+  WriteCache::Allocation a;
+  EXPECT_FALSE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  EXPECT_TRUE(state.direct_fallback);
+  EXPECT_EQ(stats_.cache_fault_denials, 1u);
+  EXPECT_EQ(stats_.cache_fallback_workers, 1u);
+  // Sticky: the degraded worker does not re-probe the injector.
+  EXPECT_FALSE(cache.Allocate(&state, 64, &a, 1, &clock_, &stats_));
+  EXPECT_EQ(stats_.cache_fault_denials, 1u);
+  EXPECT_EQ(injector.stats().dram_denials, 1u);
+  // Once the pressure window closes, a fresh worker state stages again.
+  clock_.SetTime(2'000'000);
+  WriteCacheWorkerState fresh;
+  EXPECT_TRUE(cache.Allocate(&fresh, 64, &a, 1, &clock_, &stats_));
+  dram_.AttachFaultInjector(nullptr);
+}
+
+// End-to-end equivalence: a collection whose write cache is fully denied by
+// DRAM pressure must behave exactly like a collection that never had a write
+// cache — same survivor placement (by arena offset), same copy totals — with
+// the degradation visible only in the fault counters.
+TEST(WriteCacheFallbackEquivalenceTest, DeniedCacheMatchesNoCacheRun) {
+  struct RunResult {
+    std::vector<uint64_t> offsets;
+    GcCycleStats totals;
+  };
+  auto run = [](bool cache_denied) {
+    VmOptions o;
+    o.heap.region_bytes = 64 * 1024;
+    o.heap.heap_regions = 256;
+    o.heap.dram_cache_regions = 16;
+    o.heap.eden_regions = 32;
+    o.heap.heap_device = DeviceKind::kNvm;
+    o.gc.gc_threads = 1;  // Deterministic copy order.
+    o.gc.use_write_cache = cache_denied;
+    o.gc.use_non_temporal = true;
+    o.gc.async_flush = true;
+    Vm vm(o);
+    FaultPlan plan;
+    plan.AddDramPressure(0, UINT64_MAX);
+    FaultInjector injector(plan);
+    if (cache_denied) {
+      vm.dram_device().AttachFaultInjector(&injector);
+    }
+    Mutator* mutator = vm.CreateMutator();
+    const KlassId klass = vm.heap().klasses().RegisterRegular("EqNode", 2, 16);
+    const RootHandle head = vm.NewRoot(mutator->AllocateRegular(klass));
+    for (int i = 0; i < 199; ++i) {
+      const Address node = mutator->AllocateRegular(klass);
+      mutator->WriteRef(node, 0, vm.GetRoot(head));
+      vm.SetRoot(head, node);
+    }
+    vm.CollectNow();
+    vm.CollectNow();
+    RunResult result;
+    result.totals = vm.gc_stats().Totals();
+    const Klass& k = vm.heap().klasses().Get(klass);
+    for (Address node = vm.GetRoot(head); node != kNullAddress;
+         node = obj::LoadRef(obj::RefSlot(node, k, 0))) {
+      result.offsets.push_back(node - vm.heap().heap_base());
+    }
+    return result;
+  };
+
+  const RunResult plain = run(false);
+  const RunResult denied = run(true);
+  ASSERT_EQ(plain.offsets.size(), 200u);
+  EXPECT_EQ(plain.offsets, denied.offsets);
+  EXPECT_EQ(plain.totals.bytes_copied, denied.totals.bytes_copied);
+  EXPECT_EQ(plain.totals.objects_copied, denied.totals.objects_copied);
+  EXPECT_EQ(denied.totals.cache_bytes_staged, 0u);
+  EXPECT_GT(denied.totals.cache_fault_denials, 0u);
+  EXPECT_GT(denied.totals.cache_fallback_bytes, 0u);
+  EXPECT_EQ(plain.totals.cache_fault_denials, 0u);
 }
 
 TEST_F(WriteCacheTest, DefaultCapacityIsHeapOver32) {
