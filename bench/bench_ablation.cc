@@ -8,13 +8,12 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
-
-constexpr uint32_t kGcThreads = 20;
 
 struct AblationCase {
   const char* name;
@@ -26,11 +25,11 @@ struct AblationCase {
   bool eden_on_dram = false;
 };
 
-double RunCase(const WorkloadProfile& profile, const AblationCase& c) {
+double RunCase(const WorkloadProfile& profile, const AblationCase& c, uint32_t threads) {
   const int reps = BenchRepetitions();
   double total = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
-    GcOptions gc = VanillaOptions(CollectorKind::kG1, kGcThreads);
+    GcOptions gc = VanillaOptions(CollectorKind::kG1, threads);
     gc.use_write_cache = c.write_cache;
     gc.use_non_temporal = c.non_temporal;
     gc.use_header_map = c.header_map;
@@ -44,7 +43,8 @@ double RunCase(const WorkloadProfile& profile, const AblationCase& c) {
   return total / reps;
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   const AblationCase cases[] = {
       {"vanilla"},
       {"no-prefetch", false, false, false, false},
@@ -57,14 +57,14 @@ int Main() {
       {"young-dram +all (future work)", true, true, true, true, false, true},
   };
   std::printf("=== Ablation: GC time per design choice (%u GC threads, NVM heap) ===\n\n",
-              kGcThreads);
+              gc_threads);
   for (const char* app : {"page-rank", "naive-bayes", "dotty"}) {
     const WorkloadProfile profile = RenaissanceProfile(app);
     std::printf("--- %s ---\n", app);
     TablePrinter table({"configuration", "GC time (s)", "vs vanilla"});
     double vanilla = 0.0;
     for (const AblationCase& c : cases) {
-      const double seconds = RunCase(profile, c);
+      const double seconds = RunCase(profile, c, gc_threads);
       if (std::string(c.name) == "vanilla") {
         vanilla = seconds;
       }
@@ -82,4 +82,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(ablation)

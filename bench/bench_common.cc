@@ -1,8 +1,50 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <utility>
+
+#include "bench/bench_runner.h"
+#include "src/runtime/vm.h"
 
 namespace nvmgc {
+
+namespace {
+
+// A compact tag describing the GcOptions knobs that matter for telling sweep
+// points apart ("wc" / "wc:32768" / "hm:16384" / "nt" / "async" / ...).
+std::string GcOptionsTag(const GcOptions& gc) {
+  std::string tag;
+  const auto add = [&tag](const std::string& part) {
+    if (!tag.empty()) {
+      tag.push_back('+');
+    }
+    tag.append(part);
+  };
+  if (gc.use_write_cache) {
+    add(gc.unlimited_write_cache
+            ? std::string("wc:unlimited")
+            : (gc.write_cache_bytes > 0 ? "wc:" + std::to_string(gc.write_cache_bytes) : "wc"));
+  }
+  if (gc.use_header_map) {
+    add(gc.header_map_bytes > 0 ? "hm:" + std::to_string(gc.header_map_bytes) : "hm");
+  }
+  if (gc.use_non_temporal) {
+    add("nt");
+  }
+  if (gc.async_flush) {
+    add("async");
+  }
+  if (gc.prefetch) {
+    add(gc.prefetch_header_map ? "pf:hm" : "pf");
+  }
+  return tag.empty() ? "vanilla" : tag;
+}
+
+double g_scale = -1.0;  // <0: uninitialized, read env on first use.
+int g_reps = 0;         // 0: uninitialized.
+
+}  // namespace
 
 const char* GcVariantName(GcVariant variant) {
   switch (variant) {
@@ -18,6 +60,10 @@ const char* GcVariantName(GcVariant variant) {
   return "?";
 }
 
+const char* DeviceKindShortName(DeviceKind kind) {
+  return kind == DeviceKind::kDram ? "dram" : "nvm";
+}
+
 HeapConfig DefaultHeap(DeviceKind device, bool eden_on_dram) {
   HeapConfig h;
   h.region_bytes = 64 * 1024;
@@ -30,6 +76,17 @@ HeapConfig DefaultHeap(DeviceKind device, bool eden_on_dram) {
   h.tenure_age = 3;
   h.heap_device = device;
   h.eden_on_dram = eden_on_dram;
+  const BenchContext* ctx = CurrentBenchContext();
+  if (ctx != nullptr && ctx->has_heap_mb()) {
+    // Scale every region count by the requested heap size (64 KiB regions →
+    // 16 regions per MiB) so eden and the DRAM cache keep their proportions.
+    const double factor = static_cast<double>(ctx->heap_mb()) * 16.0 /
+                          static_cast<double>(h.heap_regions);
+    h.heap_regions = static_cast<uint32_t>(ctx->heap_mb()) * 16;
+    h.eden_regions = std::max<uint32_t>(1, static_cast<uint32_t>(h.eden_regions * factor));
+    h.dram_cache_regions =
+        std::max<uint32_t>(1, static_cast<uint32_t>(h.dram_cache_regions * factor));
+  }
   return h;
 }
 
@@ -41,20 +98,36 @@ GcOptions MakeGcOptions(GcVariant variant, uint32_t threads, CollectorKind colle
       return WriteCacheOptions(collector, threads);
     case GcVariant::kAll:
       return AllOptimizationsOptions(collector, threads);
-    case GcVariant::kAllAsync: {
-      GcOptions o = AllOptimizationsOptions(collector, threads);
-      o.async_flush = true;
-      return o;
-    }
+    case GcVariant::kAllAsync:
+      return GcOptionsBuilder(AllOptimizationsOptions(collector, threads)).AsyncFlush().Build();
   }
   return VanillaOptions(collector, threads);
 }
 
-WorkloadProfile ScaledProfile(WorkloadProfile profile) {
-  static const double scale = [] {
+double BenchScale() {
+  if (g_scale < 0.0) {
     const char* env = std::getenv("NVMGC_BENCH_SCALE");
-    return env != nullptr ? std::atof(env) : 1.0;
-  }();
+    const double v = env != nullptr ? std::atof(env) : 1.0;
+    g_scale = v > 0.0 ? v : 1.0;
+  }
+  return g_scale;
+}
+
+void SetBenchScale(double scale) { g_scale = scale > 0.0 ? scale : 1.0; }
+
+int BenchRepetitions() {
+  if (g_reps == 0) {
+    const char* env = std::getenv("NVMGC_BENCH_REPS");
+    const int v = env != nullptr ? std::atoi(env) : 2;
+    g_reps = v >= 1 ? v : 1;
+  }
+  return g_reps;
+}
+
+void SetBenchRepetitions(int reps) { g_reps = reps >= 1 ? reps : 1; }
+
+WorkloadProfile ScaledProfile(WorkloadProfile profile) {
+  const double scale = BenchScale();
   if (scale > 0.0 && scale != 1.0) {
     profile.total_allocation_bytes =
         static_cast<size_t>(static_cast<double>(profile.total_allocation_bytes) * scale);
@@ -62,30 +135,79 @@ WorkloadProfile ScaledProfile(WorkloadProfile profile) {
   return profile;
 }
 
-int BenchRepetitions() {
-  static const int reps = [] {
-    const char* env = std::getenv("NVMGC_BENCH_REPS");
-    const int v = env != nullptr ? std::atoi(env) : 2;
-    return v >= 1 ? v : 1;
-  }();
-  return reps;
-}
-
 WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
                          const GcOptions& gc) {
-  return RunWorkload(ScaledProfile(profile), heap, gc);
+  BenchContext* ctx = CurrentBenchContext();
+  if (ctx == nullptr || !ctx->observing()) {
+    return RunWorkload(ScaledProfile(profile), heap, gc);
+  }
+  VmOptions options;
+  options.heap = heap;
+  options.gc = gc;
+  options.trace_gc = ctx->tracing();
+  BenchRunRecord record;
+  record.workload = profile.name;
+  record.config = {{"collector", CollectorKindName(gc.collector)},
+                   {"device", DeviceKindShortName(heap.heap_device)},
+                   {"threads", std::to_string(gc.gc_threads)},
+                   {"options", GcOptionsTag(gc)}};
+  record.label = profile.name + "/" + GcOptionsTag(gc) + "/" +
+                 DeviceKindShortName(heap.heap_device) + "/" +
+                 CollectorKindName(gc.collector) + "/t" + std::to_string(gc.gc_threads);
+  WorkloadResult result = RunWorkload(ScaledProfile(profile), options, [&](Vm& vm) {
+    record.pauses = vm.metrics().pauses();
+    record.counters = vm.metrics().counters();
+    record.gauges = vm.metrics().gauges();
+    ctx->AppendTrace(vm.tracer(), record.label);
+  });
+  record.result = result;
+  ctx->RecordRun(std::move(record));
+  return result;
 }
 
 WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVariant variant,
                        uint32_t threads, CollectorKind collector, bool eden_on_dram) {
+  BenchContext* ctx = CurrentBenchContext();
   const int reps = BenchRepetitions();
+  const HeapConfig heap = DefaultHeap(device, eden_on_dram);
+  const GcOptions gc = MakeGcOptions(variant, threads, collector);
+
+  BenchRunRecord record;
+  record.workload = profile.name;
+  record.reps = reps;
+  record.config = {{"variant", GcVariantName(variant)},
+                   {"device", DeviceKindShortName(device)},
+                   {"collector", CollectorKindName(collector)},
+                   {"threads", std::to_string(threads)},
+                   {"eden_on_dram", eden_on_dram ? "true" : "false"}};
+  record.label = profile.name + std::string("/") + GcVariantName(variant) + "/" +
+                 DeviceKindShortName(device) + (eden_on_dram ? "-young-dram" : "") + "/" +
+                 CollectorKindName(collector) + "/t" + std::to_string(threads);
+
   WorkloadResult avg;
   double bw_sum = 0.0;
+  bool observed = false;
   for (int rep = 0; rep < reps; ++rep) {
     WorkloadProfile p = profile;
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
-    const WorkloadResult r = RunWorkload(ScaledProfile(p), DefaultHeap(device, eden_on_dram),
-                                         MakeGcOptions(variant, threads, collector));
+    WorkloadResult r;
+    if (rep == 0 && ctx != nullptr && ctx->observing()) {
+      // Observe the first repetition only: repetitions differ only in seed,
+      // and one pause-by-pause record per data point keeps artifacts small.
+      VmOptions options;
+      options.heap = heap;
+      options.gc = gc;
+      options.trace_gc = ctx->tracing();
+      r = RunWorkload(ScaledProfile(p), options, [&](Vm& vm) {
+        record.pauses = vm.metrics().pauses();
+        record.counters = vm.metrics().counters();
+        record.gauges = vm.metrics().gauges();
+        ctx->AppendTrace(vm.tracer(), record.label);
+      });
+      observed = true;
+    } else {
+      r = RunWorkload(ScaledProfile(p), heap, gc);
+    }
     avg.name = r.name;
     avg.total_ns += r.total_ns;
     avg.gc_ns += r.gc_ns;
@@ -100,6 +222,10 @@ WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVari
   avg.gc_count /= reps;
   avg.bytes_allocated /= reps;
   avg.gc_bandwidth_mbps = bw_sum / reps;
+  if (observed) {
+    record.result = avg;
+    ctx->RecordRun(std::move(record));
+  }
   return avg;
 }
 

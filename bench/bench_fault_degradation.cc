@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/nvm/fault_injector.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
@@ -25,7 +26,6 @@
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
 constexpr uint64_t kFaultHorizonNs = 1'000'000'000;  // Faults span the first 1s.
 
 struct FaultRunResult {
@@ -35,13 +35,14 @@ struct FaultRunResult {
   double fallback_workers = 0.0;
 };
 
-FaultRunResult RunConfig(const WorkloadProfile& profile, bool inject, bool auto_degrade) {
+FaultRunResult RunConfig(const WorkloadProfile& profile, uint32_t threads, bool inject,
+                         bool auto_degrade) {
   const int reps = BenchRepetitions();
   FaultRunResult result;
   for (int rep = 0; rep < reps; ++rep) {
     VmOptions options;
     options.heap = DefaultHeap(DeviceKind::kNvm);
-    options.gc = MakeGcOptions(GcVariant::kAllAsync, kGcThreads);
+    options.gc = MakeGcOptions(GcVariant::kAllAsync, threads);
     options.gc.auto_degrade = auto_degrade;
     WorkloadProfile p = ScaledProfile(profile);
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
@@ -67,16 +68,17 @@ FaultRunResult RunConfig(const WorkloadProfile& profile, bool inject, bool auto_
   return result;
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   std::printf("=== GC time under injected NVM faults (degrade vs rigid) ===\n\n");
   TablePrinter table({"app", "nominal (s)", "degrade (s)", "rigid (s)", "degrade vs rigid",
                       "degr. cycles", "pair denials"});
   double delta_sum = 0.0;
   int n = 0;
   for (const auto& profile : AllApplicationProfiles()) {
-    const FaultRunResult nominal = RunConfig(profile, /*inject=*/false, /*auto_degrade=*/true);
-    const FaultRunResult degrade = RunConfig(profile, /*inject=*/true, /*auto_degrade=*/true);
-    const FaultRunResult rigid = RunConfig(profile, /*inject=*/true, /*auto_degrade=*/false);
+    const FaultRunResult nominal = RunConfig(profile, gc_threads, /*inject=*/false, /*auto_degrade=*/true);
+    const FaultRunResult degrade = RunConfig(profile, gc_threads, /*inject=*/true, /*auto_degrade=*/true);
+    const FaultRunResult rigid = RunConfig(profile, gc_threads, /*inject=*/true, /*auto_degrade=*/false);
     std::string delta_cell = "n/a";  // Short runs may see no GC cycle at all.
     if (rigid.gc_seconds > 0.0) {
       const double delta = (rigid.gc_seconds - degrade.gc_seconds) / rigid.gc_seconds * 100.0;
@@ -99,4 +101,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fault_degradation)

@@ -11,15 +11,15 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t kGcThreads = ctx.threads(20);
   const std::vector<std::string> apps = {"page-rank", "kmeans",     "als",
                                          "log-regression", "movie-lens", "scala-stm-bench7"};
   std::printf("=== Figure 1: app and GC time, DRAM vs NVM (vanilla G1, %u GC threads) ===\n\n",
@@ -55,4 +55,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig01_app_gc_time)

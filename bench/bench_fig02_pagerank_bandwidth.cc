@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -100,7 +101,7 @@ void RunScalability(DeviceKind device, const char* title) {
   std::printf("\n");
 }
 
-int Main() {
+int Main(BenchContext&) {
   std::printf("=== Figure 2: bandwidth statistics for page-rank ===\n\n");
   RunSeries(DeviceKind::kDram, "Figure 2a: DRAM");
   RunSeries(DeviceKind::kNvm, "Figure 2b: NVM");
@@ -114,4 +115,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig02_pagerank_bandwidth)

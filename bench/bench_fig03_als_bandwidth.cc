@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -70,7 +71,7 @@ void RunSeries(DeviceKind device, const char* title) {
   }
 }
 
-int Main() {
+int Main(BenchContext&) {
   std::printf("=== Figure 3: bandwidth statistics for als ===\n\n");
   RunSeries(DeviceKind::kDram, "Figure 3a: DRAM");
   RunSeries(DeviceKind::kNvm, "Figure 3b: NVM");
@@ -82,4 +83,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig03_als_bandwidth)

@@ -10,15 +10,16 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t kGcThreads = ctx.threads(20);
+  const CollectorKind collector = ctx.collector(CollectorKind::kG1);
   std::printf("=== Figure 5: GC time per application and configuration (%u GC threads) ===\n\n",
               kGcThreads);
   TablePrinter table({"app", "vanilla (s)", "+writecache (s)", "+all (s)", "vanilla-dram (s)",
@@ -32,12 +33,12 @@ int Main() {
   int improved = 0;
   const auto profiles = AllApplicationProfiles();
   for (const auto& profile : profiles) {
-    const auto vanilla = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads);
-    const auto wc = RunOnce(profile, DeviceKind::kNvm, GcVariant::kWriteCache, kGcThreads);
-    const auto all = RunOnce(profile, DeviceKind::kNvm, GcVariant::kAll, kGcThreads);
-    const auto dram = RunOnce(profile, DeviceKind::kDram, GcVariant::kVanilla, kGcThreads);
+    const auto vanilla = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads, collector);
+    const auto wc = RunOnce(profile, DeviceKind::kNvm, GcVariant::kWriteCache, kGcThreads, collector);
+    const auto all = RunOnce(profile, DeviceKind::kNvm, GcVariant::kAll, kGcThreads, collector);
+    const auto dram = RunOnce(profile, DeviceKind::kDram, GcVariant::kVanilla, kGcThreads, collector);
     const auto young_dram = RunOnce(profile, DeviceKind::kNvm, GcVariant::kVanilla, kGcThreads,
-                                    CollectorKind::kG1, /*eden_on_dram=*/true);
+                                    collector, /*eden_on_dram=*/true);
     const double speedup_all = vanilla.gc_seconds() / all.gc_seconds();
     const double speedup_wc = vanilla.gc_seconds() / wc.gc_seconds();
     sum_all += speedup_all;
@@ -70,4 +71,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig05_gc_time)

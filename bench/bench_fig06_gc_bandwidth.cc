@@ -7,15 +7,15 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 56;
-
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t kGcThreads = ctx.threads(56);
   std::printf("=== Figure 6: NVM bandwidth during GC (G1-Opt vs G1-Vanilla, %u threads) ===\n\n",
               kGcThreads);
   TablePrinter table({"app", "vanilla (MB/s)", "optimized (MB/s)", "improvement"});
@@ -50,4 +50,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig06_gc_bandwidth)

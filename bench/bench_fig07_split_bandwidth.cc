@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -69,7 +70,7 @@ void RunCase(const std::string& app, GcVariant variant) {
   std::printf("peak read %.0f MB/s, peak write %.0f MB/s\n\n", peak_read, peak_write);
 }
 
-int Main() {
+int Main(BenchContext&) {
   std::printf("=== Figure 7: split NVM bandwidth during GC ===\n\n");
   for (const std::string& app : {"page-rank", "naive-bayes", "akka-uct"}) {
     RunCase(app, GcVariant::kAll);
@@ -81,4 +82,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig07_split_bandwidth)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/cassandra.h"
@@ -21,12 +22,12 @@ struct Curve {
   std::vector<LatencyResult> reads;
 };
 
-Curve RunCurve(GcVariant variant, const std::vector<double>& offered_kqps) {
+Curve RunCurve(GcVariant variant, uint32_t threads, const std::vector<double>& offered_kqps) {
   Curve curve;
   for (double kqps : offered_kqps) {
     VmOptions options;
     options.heap = DefaultHeap(DeviceKind::kNvm);
-    options.gc = MakeGcOptions(variant, 20);
+    options.gc = MakeGcOptions(variant, threads);
     Vm vm(options);
     CassandraService service(&vm, CassandraConfig{});
     // cassandra-stress: a write-only phase followed by a read-only phase.
@@ -53,11 +54,12 @@ void PrintPhase(const char* phase, const std::vector<double>& offered,
   std::printf("\n");
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   std::printf("=== Figure 8: Cassandra tail latency (opt vs vanilla G1, NVM heap) ===\n\n");
   const std::vector<double> offered_kqps = {30, 50, 70, 90, 110, 130};
-  const Curve opt = RunCurve(GcVariant::kAll, offered_kqps);
-  const Curve van = RunCurve(GcVariant::kVanilla, offered_kqps);
+  const Curve opt = RunCurve(GcVariant::kAll, gc_threads, offered_kqps);
+  const Curve van = RunCurve(GcVariant::kVanilla, gc_threads, offered_kqps);
   PrintPhase("write", offered_kqps, opt.writes, van.writes);
   PrintPhase("read", offered_kqps, opt.reads, van.reads);
   std::printf("paper (130 kQPS): read p95/p99 gains 5.09x/4.88x, write 2.74x/2.54x\n");
@@ -67,4 +69,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig08_cassandra_latency)

@@ -7,15 +7,15 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t kGcThreads = ctx.threads(20);
   std::printf("=== Figure 9: application time, G1-Opt vs G1-Vanilla (NVM heap) ===\n\n");
   TablePrinter table({"app", "vanilla (s)", "optimized (s)", "improvement"});
   const auto spark = SparkProfiles();
@@ -44,4 +44,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig09_app_time)

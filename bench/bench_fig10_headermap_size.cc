@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -16,21 +17,21 @@
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
 struct SizedResult {
   double gc_seconds = 0.0;
   double peak_occupancy = 0.0;  // Peak per-GC installs / capacity.
 };
 
-SizedResult RunWithHeaderMapBytes(const WorkloadProfile& profile, size_t map_bytes) {
+SizedResult RunWithHeaderMapBytes(const WorkloadProfile& profile, uint32_t threads,
+                                  size_t map_bytes) {
   SizedResult out;
   const int reps = BenchRepetitions();
   for (int rep = 0; rep < reps; ++rep) {
     VmOptions options;
     options.heap = DefaultHeap(DeviceKind::kNvm);
-    options.gc = MakeGcOptions(GcVariant::kAll, kGcThreads);
-    options.gc.header_map_bytes = map_bytes;
+    options.gc = GcOptionsBuilder(MakeGcOptions(GcVariant::kAll, threads))
+                     .HeaderMapBytes(map_bytes)
+                     .Build();
     Vm vm(options);
     WorkloadProfile p = ScaledProfile(profile);
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
@@ -48,7 +49,8 @@ SizedResult RunWithHeaderMapBytes(const WorkloadProfile& profile, size_t map_byt
   return out;
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   const size_t heap_bytes = DefaultHeap(DeviceKind::kNvm).region_bytes *
                             DefaultHeap(DeviceKind::kNvm).heap_regions;
   // The paper's 512M/1G/2G caps are sized so that Spark saturates the small
@@ -69,9 +71,9 @@ int Main() {
   int spark_n = 0;
   const auto spark = SparkProfiles();
   for (const auto& profile : AllApplicationProfiles()) {
-    const SizedResult small = RunWithHeaderMapBytes(profile, cap32);
-    const SizedResult mid = RunWithHeaderMapBytes(profile, cap16);
-    const SizedResult big = RunWithHeaderMapBytes(profile, cap8);
+    const SizedResult small = RunWithHeaderMapBytes(profile, gc_threads, cap32);
+    const SizedResult mid = RunWithHeaderMapBytes(profile, gc_threads, cap16);
+    const SizedResult big = RunWithHeaderMapBytes(profile, gc_threads, cap8);
     const double gain = (small.gc_seconds - big.gc_seconds) / small.gc_seconds * 100.0;
     bool is_spark = false;
     for (const auto& s : spark) {
@@ -101,4 +103,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig10_headermap_size)

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/runtime/vm.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -19,20 +20,19 @@
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-double RunVariantGcSeconds(const WorkloadProfile& profile, bool unlimited, bool async,
-                           DeviceKind device) {
+double RunVariantGcSeconds(const WorkloadProfile& profile, uint32_t threads, bool unlimited,
+                           bool async, DeviceKind device) {
   const int reps = BenchRepetitions();
   double total = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
     VmOptions options;
     options.heap = DefaultHeap(device);
-    options.gc = MakeGcOptions(GcVariant::kAll, kGcThreads);
-    options.gc.unlimited_write_cache = unlimited;
-    options.gc.async_flush = async;
+    options.gc = GcOptionsBuilder(MakeGcOptions(GcVariant::kAll, threads))
+                     .UnlimitedWriteCache(unlimited)
+                     .AsyncFlush(async)
+                     .Build();
     if (device == DeviceKind::kDram) {
-      options.gc = MakeGcOptions(GcVariant::kVanilla, kGcThreads);
+      options.gc = MakeGcOptions(GcVariant::kVanilla, threads);
     }
     WorkloadProfile p = ScaledProfile(profile);
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
@@ -44,17 +44,18 @@ double RunVariantGcSeconds(const WorkloadProfile& profile, bool unlimited, bool 
   return total / reps;
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   std::printf("=== Figure 11: GC time with different write-cache settings ===\n\n");
   TablePrinter table({"app", "sync (s)", "sync-unlimited (s)", "async (s)", "dram (s)",
                       "async slowdown"});
   double async_slowdown_sum = 0.0;
   int n = 0;
   for (const auto& profile : AllApplicationProfiles()) {
-    const double sync = RunVariantGcSeconds(profile, false, false, DeviceKind::kNvm);
-    const double unlimited = RunVariantGcSeconds(profile, true, false, DeviceKind::kNvm);
-    const double async = RunVariantGcSeconds(profile, false, true, DeviceKind::kNvm);
-    const double dram = RunVariantGcSeconds(profile, false, false, DeviceKind::kDram);
+    const double sync = RunVariantGcSeconds(profile, gc_threads, false, false, DeviceKind::kNvm);
+    const double unlimited = RunVariantGcSeconds(profile, gc_threads, true, false, DeviceKind::kNvm);
+    const double async = RunVariantGcSeconds(profile, gc_threads, false, true, DeviceKind::kNvm);
+    const double dram = RunVariantGcSeconds(profile, gc_threads, false, false, DeviceKind::kDram);
     const double async_slowdown = (async - sync) / sync * 100.0;
     async_slowdown_sum += async_slowdown;
     ++n;
@@ -71,4 +72,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig11_writecache)

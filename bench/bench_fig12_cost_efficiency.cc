@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/nvm/device_profile.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
@@ -17,9 +18,8 @@
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t kGcThreads = ctx.threads(20);
   const HeapConfig heap = DefaultHeap(DeviceKind::kNvm);
   const double gb = 1024.0 * 1024.0 * 1024.0;
   const double heap_gb = static_cast<double>(heap.region_bytes * heap.heap_regions) / gb;
@@ -68,4 +68,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig12_cost_efficiency)

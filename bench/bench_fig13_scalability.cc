@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
@@ -28,7 +29,7 @@ double GcSeconds(const WorkloadProfile& profile, GcVariant variant, uint32_t thr
       .gc_seconds();
 }
 
-int Main() {
+int Main(BenchContext&) {
   std::printf("=== Figure 13: GC time vs GC threads (NVM heap) ===\n\n");
   int vanilla_knee = 0;
   int all_scales_past_20 = 0;
@@ -78,4 +79,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig13_scalability)

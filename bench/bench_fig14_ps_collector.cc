@@ -9,21 +9,23 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/renaissance.h"
 
 namespace nvmgc {
 namespace {
 
-constexpr uint32_t kGcThreads = 20;
-
-double RunPs(const WorkloadProfile& profile, GcVariant variant, bool prefetch) {
+double RunPs(const WorkloadProfile& profile, uint32_t threads, GcVariant variant,
+             bool prefetch) {
   const int reps = BenchRepetitions();
   double total = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
-    GcOptions gc = MakeGcOptions(variant, kGcThreads, CollectorKind::kParallelScavenge);
-    gc.prefetch = prefetch;
-    gc.prefetch_header_map = prefetch && gc.use_header_map;
+    GcOptions base = MakeGcOptions(variant, threads, CollectorKind::kParallelScavenge);
+    const GcOptions gc = GcOptionsBuilder(base)
+                             .Prefetch(prefetch)
+                             .PrefetchHeaderMap(prefetch && base.use_header_map)
+                             .Build();
     WorkloadProfile p = profile;
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
     total += RunSingle(p, DefaultHeap(DeviceKind::kNvm), gc).gc_seconds();
@@ -31,7 +33,8 @@ double RunPs(const WorkloadProfile& profile, GcVariant variant, bool prefetch) {
   return total / reps;
 }
 
-int Main() {
+int Main(BenchContext& ctx) {
+  const uint32_t gc_threads = ctx.threads(20);
   std::printf("=== Figure 14: GC time for Parallel Scavenge (vanilla / no-prefetch / +all) ===\n\n");
   TablePrinter table({"app", "vanilla (s)", "+all no-prefetch (s)", "+all (s)", "speedup",
                       "prefetch gain"});
@@ -41,9 +44,9 @@ int Main() {
   double sum_pf = 0.0;
   int n = 0;
   for (const auto& profile : RenaissanceProfiles()) {
-    const double vanilla = RunPs(profile, GcVariant::kVanilla, /*prefetch=*/false);
-    const double nopf = RunPs(profile, GcVariant::kAll, /*prefetch=*/false);
-    const double all = RunPs(profile, GcVariant::kAll, /*prefetch=*/true);
+    const double vanilla = RunPs(profile, gc_threads, GcVariant::kVanilla, /*prefetch=*/false);
+    const double nopf = RunPs(profile, gc_threads, GcVariant::kAll, /*prefetch=*/false);
+    const double all = RunPs(profile, gc_threads, GcVariant::kAll, /*prefetch=*/true);
     const double speedup = vanilla / all;
     const double pf_gain = (nopf - all) / nopf * 100.0;
     sum_speedup += speedup;
@@ -65,4 +68,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(fig14_ps_collector)

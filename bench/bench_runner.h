@@ -1,0 +1,119 @@
+// BenchRunner: the shared command-line front end for every bench binary.
+//
+// A bench registers one entry point with the NVMGC_BENCH_MAIN macro and
+// receives a BenchContext carrying the uniform flag set:
+//
+//   --threads=N     override the bench's default GC thread count
+//   --heap-mb=N     override the default simulated heap size (region counts
+//                   scale proportionally; benches that build a HeapConfig by
+//                   hand are unaffected)
+//   --collector=K   g1 | ps
+//   --json=PATH     write a machine-readable result file (schema
+//                   "nvmgc.bench.v1": config + per-run results + lifetime
+//                   metrics + per-pause snapshots)
+//   --trace=PATH    write a merged Chrome-trace / Perfetto JSON file; each
+//                   recorded run becomes one "process" named by its label
+//   --repeat=N      repetitions averaged per data point (NVMGC_BENCH_REPS)
+//   --scale=F       allocation-volume scale factor (NVMGC_BENCH_SCALE)
+//
+// bench_common's RunOnce / RunSingle consult the active context, so existing
+// table-printing bench bodies pick up --json / --trace without any changes
+// beyond using ctx.threads()/ctx.collector() for their defaults.
+
+#ifndef NVMGC_BENCH_BENCH_RUNNER_H_
+#define NVMGC_BENCH_BENCH_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gc/gc_options.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/workloads/synthetic_app.h"
+
+namespace nvmgc {
+
+// One recorded data point: an (averaged) workload run plus the observability
+// artifacts harvested from its first repetition.
+struct BenchRunRecord {
+  std::string label;     // Unique-ish "<workload>/<variant>/<device>/tN" key.
+  std::string workload;  // Profile name.
+  std::map<std::string, std::string> config;  // variant/device/collector/...
+  WorkloadResult result;                      // Averaged over `reps`.
+  int reps = 1;
+  // Captured from repetition 0 when --json is active:
+  std::vector<PauseSnapshot> pauses;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+};
+
+class BenchContext {
+ public:
+  // --- Flag accessors; the bench passes its paper-default value ---
+  uint32_t threads(uint32_t default_threads) const {
+    return threads_ > 0 ? threads_ : default_threads;
+  }
+  CollectorKind collector(CollectorKind default_collector) const {
+    return has_collector_ ? collector_ : default_collector;
+  }
+  bool has_heap_mb() const { return heap_mb_ > 0; }
+  uint32_t heap_mb() const { return heap_mb_; }
+
+  const std::string& json_path() const { return json_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  // True when runs should be observed (per-pause metrics harvested).
+  bool observing() const { return !json_path_.empty() || !trace_path_.empty(); }
+  // True when GC phase tracing should be enabled on observed runs.
+  bool tracing() const { return !trace_path_.empty(); }
+
+  // --- Recording (called by bench_common) ---
+  void RecordRun(BenchRunRecord record);
+  // Appends one observed run's trace events as a new Chrome-trace "process"
+  // named `process_name`.
+  void AppendTrace(const GcTracer& tracer, const std::string& process_name);
+
+  const std::vector<BenchRunRecord>& runs() const { return runs_; }
+
+ private:
+  friend int BenchMain(const char* name, int (*fn)(BenchContext&), int argc, char** argv);
+
+  bool WriteJson(const std::string& bench_name) const;
+  bool WriteTrace() const;
+
+  uint32_t threads_ = 0;  // 0 = bench default.
+  uint32_t heap_mb_ = 0;  // 0 = bench default.
+  bool has_collector_ = false;
+  CollectorKind collector_ = CollectorKind::kG1;
+  std::string json_path_;
+  std::string trace_path_;
+  int repeat_ = 0;      // 0 = env/default.
+  double scale_ = 0.0;  // 0 = env/default.
+
+  std::vector<BenchRunRecord> runs_;
+  std::string trace_events_;  // Accumulated Chrome-trace objects.
+  uint32_t next_trace_pid_ = 1;
+};
+
+// The context of the BenchMain currently running, or nullptr outside one
+// (e.g. when a bench body is driven from a test).
+BenchContext* CurrentBenchContext();
+
+using BenchFn = int (*)(BenchContext&);
+
+// Parses the uniform flags, runs `fn` under an installed context, then writes
+// the requested --json / --trace artifacts. Returns the bench's exit code, or
+// nonzero on bad flags / artifact-write failure.
+int BenchMain(const char* name, BenchFn fn, int argc, char** argv);
+
+}  // namespace nvmgc
+
+// Defines main() for a bench whose entry point is `int Main(BenchContext&)`
+// in namespace nvmgc (anonymous namespaces included).
+#define NVMGC_BENCH_MAIN(bench_name)                                   \
+  int main(int argc, char** argv) {                                    \
+    return ::nvmgc::BenchMain(#bench_name, ::nvmgc::Main, argc, argv); \
+  }
+
+#endif  // NVMGC_BENCH_BENCH_RUNNER_H_

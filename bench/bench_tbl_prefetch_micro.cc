@@ -7,13 +7,14 @@
 
 #include <cstdio>
 
+#include "bench/bench_runner.h"
 #include "src/util/table_printer.h"
 #include "src/workloads/prefetch_micro.h"
 
 namespace nvmgc {
 namespace {
 
-int Main() {
+int Main(BenchContext&) {
   std::printf("=== Section 4.3 table: prefetch microbenchmark (40M random accesses) ===\n\n");
   TablePrinter table({"configuration", "result (s)", "paper (s)"});
   const PrefetchMicroResult dram_nopf = RunPrefetchMicro(DeviceKind::kDram, false);
@@ -33,4 +34,4 @@ int Main() {
 }  // namespace
 }  // namespace nvmgc
 
-int main() { return nvmgc::Main(); }
+NVMGC_BENCH_MAIN(tbl_prefetch_micro)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Diff two nvmgc bench JSON files (--json output, schema nvmgc.bench.v1).
+
+Runs are matched by label; for each shared label the headline result metrics
+are compared, with deltas reported as percentages of the baseline. Exit code
+is 0 unless --fail-above is given and some |gc_ns delta| exceeds it.
+
+Usage:
+  bench_diff.py baseline.json candidate.json [--metric gc_ns] [--top N]
+                [--fail-above PCT]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "nvmgc.bench.v1"
+RESULT_METRICS = ("total_ns", "gc_ns", "app_ns", "gc_count", "bytes_allocated",
+                  "gc_bandwidth_mbps")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA}, got {doc.get('schema')!r}")
+    return doc
+
+
+def pct(base, cand):
+    if base == 0:
+        return float("inf") if cand != 0 else 0.0
+    return (cand - base) / base * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--metric", default="gc_ns", choices=RESULT_METRICS,
+                    help="metric used for ranking and --fail-above (default: gc_ns)")
+    ap.add_argument("--top", type=int, default=20,
+                    help="show only the N largest movers (default: 20; 0 = all)")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                    help="exit 1 if any |delta| of --metric exceeds PCT percent")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    base = {r["label"]: r for r in base_doc["runs"]}
+    cand = {r["label"]: r for r in cand_doc["runs"]}
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    rows = []
+    for label in shared:
+        b, c = base[label]["result"], cand[label]["result"]
+        rows.append((label, {m: (b[m], c[m], pct(b[m], c[m])) for m in RESULT_METRICS}))
+    rows.sort(key=lambda r: abs(r[1][args.metric][2]), reverse=True)
+
+    print(f"bench: {base_doc['bench']} -> {cand_doc['bench']}")
+    print(f"runs: {len(base)} baseline, {len(cand)} candidate, {len(shared)} matched")
+    if only_base:
+        print(f"only in baseline : {', '.join(only_base[:8])}"
+              + (" ..." if len(only_base) > 8 else ""))
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand[:8])}"
+              + (" ..." if len(only_cand) > 8 else ""))
+    print()
+
+    shown = rows if args.top == 0 else rows[:args.top]
+    width = max((len(r[0]) for r in shown), default=5)
+    print(f"{'label':<{width}}  {'metric':<18} {'baseline':>14} {'candidate':>14} {'delta':>9}")
+    for label, metrics in shown:
+        first = True
+        for m in RESULT_METRICS:
+            b, c, d = metrics[m]
+            if b == c:
+                continue
+            name = label if first else ""
+            first = False
+            print(f"{name:<{width}}  {m:<18} {b:>14.6g} {c:>14.6g} {d:>+8.1f}%")
+        if first:  # All metrics identical.
+            print(f"{label:<{width}}  (identical)")
+    if args.top and len(rows) > args.top:
+        print(f"... {len(rows) - args.top} more runs (use --top 0 for all)")
+
+    if args.fail_above is not None:
+        worst = max((abs(r[1][args.metric][2]) for r in rows), default=0.0)
+        if worst > args.fail_above:
+            print(f"\nFAIL: worst |{args.metric}| delta {worst:.1f}% "
+                  f"> threshold {args.fail_above:.1f}%")
+            return 1
+        print(f"\nOK: worst |{args.metric}| delta {worst:.1f}% "
+              f"<= threshold {args.fail_above:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate the artifacts a bench writes with --json / --trace.
+
+Checks that the result JSON follows schema nvmgc.bench.v1 (required keys,
+well-formed runs, per-pause snapshots keyed by the stable dotted metric
+names) and that the trace file is a loadable Chrome-trace JSON with nested
+GC phase spans. Used by CI after the smoke bench; exits nonzero with a
+message on the first violation.
+
+Usage: check_bench_artifacts.py --json PATH [--trace PATH]
+       [--require-pauses] [--require-trace-spans]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "nvmgc.bench.v1"
+RESULT_KEYS = {"total_ns", "gc_ns", "app_ns", "gc_count", "bytes_allocated",
+               "gc_bandwidth_mbps"}
+RUN_KEYS = {"label", "workload", "config", "reps", "result", "metrics", "pauses"}
+# Spans every traced GC cycle must produce (see src/obs/trace.h).
+PHASE_SPANS = {"gc.pause", "gc.read_phase"}
+
+
+def fail(msg):
+    sys.exit(f"check_bench_artifacts: FAIL: {msg}")
+
+
+def check_json(path, require_pauses):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot load: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("bench", "config", "runs"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key {key!r}")
+    for key in ("threads", "heap_mb", "collector", "repeat", "scale"):
+        if key not in doc["config"]:
+            fail(f"{path}: config missing key {key!r}")
+    if not doc["runs"]:
+        fail(f"{path}: runs[] is empty")
+    total_pauses = 0
+    for i, run in enumerate(doc["runs"]):
+        missing = RUN_KEYS - run.keys()
+        if missing:
+            fail(f"{path}: runs[{i}] missing keys {sorted(missing)}")
+        if RESULT_KEYS - run["result"].keys():
+            fail(f"{path}: runs[{i}].result missing keys "
+                 f"{sorted(RESULT_KEYS - run['result'].keys())}")
+        for sub in ("counters", "gauges"):
+            if sub not in run["metrics"]:
+                fail(f"{path}: runs[{i}].metrics missing {sub!r}")
+        for j, pause in enumerate(run["pauses"]):
+            for key in ("id", "start_ns", "values"):
+                if key not in pause:
+                    fail(f"{path}: runs[{i}].pauses[{j}] missing {key!r}")
+            if "gc.pause_ns" not in pause["values"]:
+                fail(f"{path}: runs[{i}].pauses[{j}].values lacks gc.pause_ns")
+            # Snapshot-vs-aggregate consistency: no pause value may exceed the
+            # lifetime counter of the same name.
+            for name, value in pause["values"].items():
+                lifetime = run["metrics"]["counters"].get(name)
+                if lifetime is not None and value > lifetime:
+                    fail(f"{path}: runs[{i}].pauses[{j}] {name}={value} exceeds "
+                         f"lifetime counter {lifetime}")
+        total_pauses += len(run["pauses"])
+    if require_pauses and total_pauses == 0:
+        fail(f"{path}: no run recorded any GC pause "
+             "(increase --scale or the workload volume)")
+    print(f"check_bench_artifacts: {path}: OK "
+          f"({len(doc['runs'])} runs, {total_pauses} pauses)")
+    return doc
+
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot load: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    names = set()
+    for e in events:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event missing {key!r}: {e}")
+        if e["ph"] == "X" and "dur" not in e:
+            fail(f"{path}: complete event missing dur: {e}")
+        names.add(e["name"])
+    if require_spans:
+        missing = PHASE_SPANS - names
+        if missing:
+            fail(f"{path}: expected phase spans absent: {sorted(missing)}")
+        # Worker spans must be distinct per logical GC thread.
+        tids = {e["tid"] for e in events if e["name"] == "gc.read_phase"}
+        if len(tids) < 1:
+            fail(f"{path}: no gc.read_phase spans with worker tids")
+    print(f"check_bench_artifacts: {path}: OK "
+          f"({len(events)} events, {len(names)} span names)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--json", required=True, help="bench --json output to validate")
+    ap.add_argument("--trace", help="bench --trace output to validate")
+    ap.add_argument("--require-pauses", action="store_true",
+                    help="fail when no run recorded a GC pause")
+    ap.add_argument("--require-trace-spans", action="store_true",
+                    help="fail when the trace lacks gc.pause / gc.read_phase spans")
+    args = ap.parse_args()
+    check_json(args.json, args.require_pauses)
+    if args.trace:
+        check_trace(args.trace, args.require_trace_spans)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,13 @@
 #   default   RelWithDebInfo            -> build/
 #   sanitize  Debug + ASan/UBSan        -> build-sanitize/
 #
-# Both run the full ctest suite, including the nvmgc_fault_stress entry
-# (randomized seeded fault plans with heap verification after every GC cycle).
+# Both run the full ctest suite, including:
+#   - nvmgc_fault_stress: randomized seeded fault plans with heap verification
+#     after every GC cycle;
+#   - nvmgc_bench_smoke: a small bench_fig05_gc_time run writing --json/--trace
+#     artifacts into <build>/artifacts/ (retained after the run);
+#   - nvmgc_bench_artifacts_check: scripts/check_bench_artifacts.py validating
+#     the smoke artifacts against the nvmgc.bench.v1 schema.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,5 +23,8 @@ for preset in default sanitize; do
   echo "=== [${preset}] test ==="
   ctest --preset "${preset}" -j "$(nproc)"
 done
+
+echo "=== retained bench artifacts ==="
+ls -l build*/artifacts/ 2>/dev/null || true
 
 echo "CI OK"

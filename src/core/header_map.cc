@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "src/nvm/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -145,6 +147,7 @@ void HeaderMap::ClearStripe(uint32_t worker, uint32_t total_workers, SimClock* c
 }
 
 void HeaderMap::ClearJournal(std::vector<uint32_t>* journal, SimClock* clock) {
+  TraceSpan span(tracer_, clock, "hm.clear", "hm");
   for (const uint32_t idx : *journal) {
     Entry& entry = entries_[idx];
     entry.key.store(kNullAddress, std::memory_order_relaxed);
@@ -152,6 +155,14 @@ void HeaderMap::ClearJournal(std::vector<uint32_t>* journal, SimClock* clock) {
     dram_->Access(clock, RandomWrite(reinterpret_cast<Address>(&entry), sizeof(Entry)));
   }
   journal->clear();
+}
+
+void HeaderMap::ExportMetrics(MetricsRegistry* metrics) const {
+  metrics->SetGauge("hm.capacity_entries", capacity());
+  metrics->SetGauge("hm.lifetime.installs", installs());
+  metrics->SetGauge("hm.lifetime.overflows", overflows());
+  metrics->SetGauge("hm.lifetime.hits", hits());
+  metrics->SetGauge("hm.lifetime.fault_probes", fault_probes());
 }
 
 size_t HeaderMap::OccupiedEntries() const {

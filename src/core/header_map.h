@@ -24,6 +24,9 @@
 
 namespace nvmgc {
 
+class GcTracer;
+class MetricsRegistry;
+
 class HeaderMap {
  public:
   // `capacity_bytes` is rounded down to a power-of-two entry count (16 B per
@@ -73,6 +76,13 @@ class HeaderMap {
   // the bounded window into the NVM-header fallback (overflows above).
   uint64_t fault_probes() const { return fault_probes_.load(std::memory_order_relaxed); }
 
+  // Observability: when a tracer is attached, each worker's end-of-pause
+  // journal clear emits an "hm.clear" span. The tracer must outlive the map.
+  void set_tracer(GcTracer* tracer) { tracer_ = tracer; }
+  // Publishes lifetime gauges ("hm.capacity_entries", "hm.lifetime.installs",
+  // "hm.lifetime.overflows", "hm.lifetime.hits", "hm.lifetime.fault_probes").
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
  private:
   struct Entry {
     std::atomic<Address> key{kNullAddress};
@@ -87,6 +97,7 @@ class HeaderMap {
   void ChargeProbe(SimClock* clock, PrefetchQueue* prefetch, Address probe_addr) const;
 
   MemoryDevice* dram_;
+  GcTracer* tracer_ = nullptr;
   uint32_t search_bound_;
   size_t mask_;
   std::unique_ptr<Entry[]> entries_;

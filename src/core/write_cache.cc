@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/nvm/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -159,6 +161,9 @@ void WriteCache::FlushRemaining(uint32_t worker, uint32_t total_workers, SimCloc
 }
 
 void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async) {
+  // Emitted on the flushing worker's timeline: async flushes appear inside
+  // the read phase, sync flushes inside the write-back phase.
+  TraceSpan span(tracer_, clock, async ? "cache.flush.async" : "cache.flush.sync", "cache");
   Region* cache = twin->cache_twin();
   NVMGC_CHECK(cache != nullptr);
   const size_t used = cache->used();
@@ -181,6 +186,12 @@ void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, b
   } else {
     stats->regions_flushed_sync += 1;
   }
+}
+
+void WriteCache::ExportMetrics(MetricsRegistry* metrics) const {
+  metrics->SetGauge("cache.capacity_bytes", unlimited_ ? 0 : capacity_bytes_);
+  metrics->SetGauge("cache.staged_bytes_now", staged_bytes());
+  metrics->SetGauge("cache.unlimited", unlimited_ ? 1 : 0);
 }
 
 std::vector<Region*> WriteCache::TakePauseTwins() {

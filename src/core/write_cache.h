@@ -31,6 +31,9 @@
 
 namespace nvmgc {
 
+class GcTracer;
+class MetricsRegistry;
+
 // Per-GC-worker staging state: the worker's current cache/twin pair.
 struct WriteCacheWorkerState {
   Region* cache_region = nullptr;
@@ -87,6 +90,14 @@ class WriteCache {
   size_t capacity_bytes() const { return capacity_bytes_; }
   bool unlimited() const { return unlimited_; }
 
+  // Observability: when a tracer is attached, every region flush emits a
+  // "cache.flush.sync" / "cache.flush.async" span on the flushing worker's
+  // timeline. The tracer must outlive the cache.
+  void set_tracer(GcTracer* tracer) { tracer_ = tracer; }
+  // Publishes configuration/occupancy gauges ("cache.capacity_bytes",
+  // "cache.staged_bytes_now", "cache.unlimited").
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
   // Degraded mode (set per pause by the collector under sustained device
   // throttling): asynchronous flushing and non-temporal stores are disabled so
   // the write-back is a plain synchronous stream of cache-line stores.
@@ -107,6 +118,7 @@ class WriteCache {
   void FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async);
 
   Heap* heap_;
+  GcTracer* tracer_ = nullptr;
   const bool non_temporal_;
   const bool async_;
   const bool unlimited_;

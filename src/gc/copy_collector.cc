@@ -45,6 +45,16 @@ CopyCollector::CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool*
 
 bool CopyCollector::StageableThroughCache(size_t) const { return true; }
 
+void CopyCollector::set_tracer(GcTracer* tracer) {
+  tracer_ = tracer;
+  if (write_cache_ != nullptr) {
+    write_cache_->set_tracer(tracer);
+  }
+  if (header_map_ != nullptr) {
+    header_map_->set_tracer(tracer);
+  }
+}
+
 bool CopyCollector::HeaderMapActive() const {
   // The header map only pays off once the read bandwidth is contended; below
   // the thread threshold its extra lookup latency is a net loss (Section 3.3).
@@ -116,6 +126,10 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
       w.cache_state = WriteCacheWorkerState{};
       w.direct_survivor = nullptr;
       w.old_target = nullptr;
+      if (tracer_ != nullptr) {
+        tracer_->BindThread(id);
+      }
+      TraceSpan read_span(tracer_, &w.clock, "gc.read_phase", "gc");
       DrainWorker(&w);
     });
   }
@@ -157,6 +171,10 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     pool_->RunParallel([&](uint32_t id) {
       Worker& w = workers_[id];
       w.clock.SetTime(read_end);
+      if (tracer_ != nullptr) {
+        tracer_->BindThread(id);
+      }
+      TraceSpan writeback_span(tracer_, &w.clock, "gc.writeback_phase", "gc");
       if (write_cache_ != nullptr) {
         // Close this worker's open pair so the shared flush pass picks it up.
         w.cache_state.cache_region = nullptr;
@@ -227,6 +245,16 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   cycle.read_phase_ns = read_end - t0;
   cycle.writeback_phase_ns = pause_end - read_end;
 
+  // The whole pause on the control thread's timeline; worker phase spans and
+  // their nested flush/clear spans all fall inside it.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->BindThread(tracer_->control_tid());
+    if (degraded) {
+      tracer_->EmitInstant("gc.degraded", "gc", t0);
+    }
+    tracer_->Emit("gc.pause", "gc", t0, pause_end);
+  }
+
   app_clock->SetTime(pause_end);
   stats_.Add(cycle);
   return cycle;
@@ -264,6 +292,9 @@ void CopyCollector::DrainWorker(Worker* w) {
     if (queues_->StealHalfFor(w->id, &steal_buffer, &victim) > 0) {
       w->clock.Advance(kStealNs + kQueueOpNs * steal_buffer.size());
       w->local.steals += steal_buffer.size();
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->EmitInstant("gc.steal", "gc", w->clock.now_ns());
+      }
       for (Address stolen : steal_buffer) {
         TaintRegionOfSlot(stolen);
         own.Push(stolen);

@@ -34,6 +34,7 @@
 #include "src/heap/heap.h"
 #include "src/nvm/prefetch_queue.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/trace.h"
 
 namespace nvmgc {
 
@@ -56,6 +57,12 @@ class CopyCollector {
   HeaderMap* header_map() { return header_map_.get(); }
   WriteCache* write_cache() { return write_cache_.get(); }
   virtual const char* name() const { return "copy"; }
+
+  // Attaches the tracer that receives pause / phase / flush / steal events
+  // (forwarded to the write cache and header map). The tracer must outlive
+  // the collector; pass nullptr to detach.
+  void set_tracer(GcTracer* tracer);
+  GcTracer* tracer() { return tracer_; }
 
  protected:
   // Policy hook: may this object be staged through the write cache? PS copies
@@ -99,6 +106,7 @@ class CopyCollector {
   Heap* heap_;
   GcOptions options_;
   GcThreadPool* pool_;
+  GcTracer* tracer_ = nullptr;
 
   std::unique_ptr<HeaderMap> header_map_;
   std::unique_ptr<WriteCache> write_cache_;

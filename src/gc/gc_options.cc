@@ -1,0 +1,162 @@
+#include "src/gc/gc_options.h"
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+const char* CollectorKindName(CollectorKind kind) {
+  switch (kind) {
+    case CollectorKind::kG1:
+      return "g1";
+    case CollectorKind::kParallelScavenge:
+      return "ps";
+  }
+  return "?";
+}
+
+std::string GcOptions::Validate() const {
+  if (gc_threads == 0) {
+    return "gc_threads is 0: the collector needs at least one worker "
+           "(GcOptionsBuilder::GcThreads)";
+  }
+  if (!use_write_cache) {
+    if (async_flush) {
+      return "async_flush requires use_write_cache: asynchronous flushing streams "
+             "DRAM cache regions back to NVM, which do not exist without the write "
+             "cache (enable WriteCache() or drop AsyncFlush())";
+    }
+    if (use_non_temporal) {
+      return "use_non_temporal requires use_write_cache: non-temporal stores only "
+             "apply to the write-back of DRAM cache regions (enable WriteCache() or "
+             "drop NonTemporal())";
+    }
+    if (write_cache_bytes != 0) {
+      return "write_cache_bytes is set but use_write_cache is false: the capacity "
+             "would silently be ignored (enable WriteCache() or drop "
+             "WriteCacheBytes())";
+    }
+    if (unlimited_write_cache) {
+      return "unlimited_write_cache is set but use_write_cache is false (enable "
+             "WriteCache() or drop UnlimitedWriteCache())";
+    }
+  }
+  if (use_write_cache && unlimited_write_cache && write_cache_bytes != 0) {
+    return "unlimited_write_cache contradicts an explicit write_cache_bytes cap "
+           "(pick one of UnlimitedWriteCache() / WriteCacheBytes())";
+  }
+  if (!use_header_map) {
+    if (prefetch_header_map) {
+      return "prefetch_header_map requires use_header_map: there are no probe lines "
+             "to prefetch without the DRAM header map (enable HeaderMap() or drop "
+             "PrefetchHeaderMap())";
+    }
+    if (header_map_bytes != 0) {
+      return "header_map_bytes is set but use_header_map is false: the capacity "
+             "would silently be ignored (enable HeaderMap() or drop "
+             "HeaderMapBytes())";
+    }
+  }
+  if (use_header_map && header_map_search_bound == 0) {
+    return "header_map_search_bound is 0: every probe would overflow to the NVM "
+           "header immediately (use HeaderMapSearchBound(n) with n >= 1)";
+  }
+  if (prefetch_header_map && !prefetch) {
+    return "prefetch_header_map requires prefetch: header-map probe prefetching "
+           "extends object prefetching, it cannot run alone (enable Prefetch())";
+  }
+  if (collector == CollectorKind::kParallelScavenge && lab_bytes == 0) {
+    return "lab_bytes is 0 with the ParallelScavenge collector: every object would "
+           "bypass the local allocation buffers (use LabBytes(n) with n > 0)";
+  }
+  return std::string();
+}
+
+GcOptionsBuilder& GcOptionsBuilder::Collector(CollectorKind kind) {
+  o_.collector = kind;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::GcThreads(uint32_t threads) {
+  o_.gc_threads = threads;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::WriteCache(bool on) {
+  o_.use_write_cache = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::WriteCacheBytes(size_t bytes) {
+  o_.write_cache_bytes = bytes;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::UnlimitedWriteCache(bool on) {
+  o_.unlimited_write_cache = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::HeaderMap(bool on) {
+  o_.use_header_map = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::HeaderMapBytes(size_t bytes) {
+  o_.header_map_bytes = bytes;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::HeaderMapMinThreads(uint32_t threads) {
+  o_.header_map_min_threads = threads;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::HeaderMapSearchBound(uint32_t bound) {
+  o_.header_map_search_bound = bound;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::NonTemporal(bool on) {
+  o_.use_non_temporal = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::AsyncFlush(bool on) {
+  o_.async_flush = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::Prefetch(bool on) {
+  o_.prefetch = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::PrefetchHeaderMap(bool on) {
+  o_.prefetch_header_map = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::LabBytes(size_t bytes) {
+  o_.lab_bytes = bytes;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::AutoDegrade(bool on) {
+  o_.auto_degrade = on;
+  return *this;
+}
+
+GcOptions GcOptionsBuilder::Build() const {
+  const std::string error = o_.Validate();
+  NVMGC_CHECK_MSG(error.empty(), error.c_str());
+  return o_;
+}
+
+GcOptions VanillaOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder()
+      .Collector(collector)
+      .GcThreads(threads)
+      .Prefetch(collector == CollectorKind::kG1)  // G1 ships with prefetch; PS does not.
+      .Build();
+}
+
+GcOptions WriteCacheOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder(VanillaOptions(collector, threads)).WriteCache().Build();
+}
+
+GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder(WriteCacheOptions(collector, threads))
+      .HeaderMap()
+      .NonTemporal()
+      .Prefetch()
+      .PrefetchHeaderMap()
+      .Build();
+}
+
+}  // namespace nvmgc

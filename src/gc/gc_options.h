@@ -1,10 +1,16 @@
 // Collector configuration (the analog of -XX: flags).
+//
+// Prefer GcOptionsBuilder (chainable, validated at Build()) or the presets
+// below over poking fields directly: the Vm constructor rejects invalid
+// combinations with GcOptions::Validate()'s actionable error message, so a
+// misconfiguration fails fast instead of silently running the wrong collector.
 
 #ifndef NVMGC_SRC_GC_GC_OPTIONS_H_
 #define NVMGC_SRC_GC_GC_OPTIONS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace nvmgc {
 
@@ -12,6 +18,8 @@ enum class CollectorKind : uint8_t {
   kG1,                // Garbage-First-style regional young GC (default).
   kParallelScavenge,  // PS-style young GC with local allocation buffers.
 };
+
+const char* CollectorKindName(CollectorKind kind);
 
 struct GcOptions {
   CollectorKind collector = CollectorKind::kG1;
@@ -54,36 +62,59 @@ struct GcOptions {
   // asynchronous flushing and non-temporal stores are disabled until a pause
   // begins outside the window.
   bool auto_degrade = true;
+
+  // Returns an empty string when the configuration is coherent, otherwise an
+  // actionable description of the first problem found (what is wrong and
+  // which setter/flag fixes it). Checked by the Vm constructor.
+  std::string Validate() const;
+  bool valid() const { return Validate().empty(); }
+};
+
+// Chainable construction of a validated GcOptions. Build() check-fails with
+// the Validate() message on an incoherent combination; start from a preset
+// with the one-argument constructor to tweak a known-good base.
+class GcOptionsBuilder {
+ public:
+  GcOptionsBuilder() = default;
+  explicit GcOptionsBuilder(GcOptions base) : o_(base) {}
+
+  GcOptionsBuilder& Collector(CollectorKind kind);
+  GcOptionsBuilder& GcThreads(uint32_t threads);
+  GcOptionsBuilder& WriteCache(bool on = true);
+  GcOptionsBuilder& WriteCacheBytes(size_t bytes);
+  GcOptionsBuilder& UnlimitedWriteCache(bool on = true);
+  GcOptionsBuilder& HeaderMap(bool on = true);
+  GcOptionsBuilder& HeaderMapBytes(size_t bytes);
+  GcOptionsBuilder& HeaderMapMinThreads(uint32_t threads);
+  GcOptionsBuilder& HeaderMapSearchBound(uint32_t bound);
+  GcOptionsBuilder& NonTemporal(bool on = true);
+  GcOptionsBuilder& AsyncFlush(bool on = true);
+  GcOptionsBuilder& Prefetch(bool on = true);
+  GcOptionsBuilder& PrefetchHeaderMap(bool on = true);
+  GcOptionsBuilder& LabBytes(size_t bytes);
+  GcOptionsBuilder& AutoDegrade(bool on = true);
+
+  // Validates and returns the options; dies with the Validate() message on an
+  // invalid combination.
+  GcOptions Build() const;
+  // Escape hatch for tests that exercise the invalid paths deliberately.
+  GcOptions BuildUnchecked() const { return o_; }
+
+ private:
+  GcOptions o_;
 };
 
 // --- Presets matching the paper's evaluated configurations ---
 
-// "vanilla": unmodified collector.
-inline GcOptions VanillaOptions(CollectorKind collector, uint32_t threads) {
-  GcOptions o;
-  o.collector = collector;
-  o.gc_threads = threads;
-  o.prefetch = collector == CollectorKind::kG1;  // G1 ships with prefetch; PS does not.
-  return o;
-}
+// "vanilla": unmodified collector (G1 ships with prefetch; PS does not).
+GcOptions VanillaOptions(CollectorKind collector, uint32_t threads);
 
 // "+writecache": write cache only.
-inline GcOptions WriteCacheOptions(CollectorKind collector, uint32_t threads) {
-  GcOptions o = VanillaOptions(collector, threads);
-  o.use_write_cache = true;
-  return o;
-}
+GcOptions WriteCacheOptions(CollectorKind collector, uint32_t threads);
 
 // "+all": write cache + header map + non-temporal write-back + prefetching
 // (extended to the header map).
-inline GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads) {
-  GcOptions o = WriteCacheOptions(collector, threads);
-  o.use_header_map = true;
-  o.use_non_temporal = true;
-  o.prefetch = true;
-  o.prefetch_header_map = true;
-  return o;
-}
+GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads);
 
 }  // namespace nvmgc
 

@@ -1,5 +1,6 @@
 #include "src/gc/gc_thread_pool.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -26,6 +27,7 @@ GcThreadPool::~GcThreadPool() {
 void GcThreadPool::RunParallel(const std::function<void(uint32_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   NVMGC_CHECK(remaining_ == 0);
+  ++parallel_phases_;
   current_fn_ = &fn;
   remaining_ = thread_count();
   ++epoch_;
@@ -55,6 +57,11 @@ void GcThreadPool::WorkerLoop(uint32_t id) {
       }
     }
   }
+}
+
+void GcThreadPool::ExportMetrics(MetricsRegistry* metrics) const {
+  metrics->SetGauge("gc.pool.threads", thread_count());
+  metrics->SetGauge("gc.pool.parallel_phases", parallel_phases_);
 }
 
 }  // namespace nvmgc

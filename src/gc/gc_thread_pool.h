@@ -17,6 +17,8 @@
 
 namespace nvmgc {
 
+class MetricsRegistry;
+
 class GcThreadPool {
  public:
   explicit GcThreadPool(uint32_t threads);
@@ -30,8 +32,17 @@ class GcThreadPool {
 
   uint32_t thread_count() const { return static_cast<uint32_t>(workers_.size()); }
 
+  // Parallel phases dispatched over the pool's lifetime (a pause runs one or
+  // two: copy-and-traverse, plus write-back/clear when those features are on).
+  uint64_t parallel_phases() const { return parallel_phases_; }
+
+  // Publishes pool gauges ("gc.pool.threads", "gc.pool.parallel_phases").
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
  private:
   void WorkerLoop(uint32_t id);
+
+  uint64_t parallel_phases_ = 0;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -1,5 +1,6 @@
 #include "src/nvm/fault_injector.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -216,6 +217,17 @@ FaultStats FaultInjector::stats() const {
   s.stall_extra_ns = stall_extra_ns_.load(std::memory_order_relaxed);
   s.dram_denials = dram_denials_.load(std::memory_order_relaxed);
   return s;
+}
+
+void FaultInjector::ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const {
+  const FaultStats s = stats();
+  metrics->SetGauge(prefix + ".perturbed_accesses", s.perturbed_accesses);
+  metrics->SetGauge(prefix + ".spiked_accesses", s.spiked_accesses);
+  metrics->SetGauge(prefix + ".throttled_accesses", s.throttled_accesses);
+  metrics->SetGauge(prefix + ".stalls_injected", s.stalls_injected);
+  metrics->SetGauge(prefix + ".stall_retries", s.stall_retries);
+  metrics->SetGauge(prefix + ".stall_extra_ns", s.stall_extra_ns);
+  metrics->SetGauge(prefix + ".dram_denials", s.dram_denials);
 }
 
 }  // namespace nvmgc

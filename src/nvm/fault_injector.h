@@ -28,11 +28,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/nvm/access.h"
 
 namespace nvmgc {
+
+class MetricsRegistry;
 
 enum class FaultKind : uint8_t {
   // Multiplies the cost of every access in the window (media retries,
@@ -125,6 +128,10 @@ class FaultInjector {
 
   FaultStats stats() const;
   const FaultPlan& plan() const { return plan_; }
+
+  // Publishes the counter snapshot as gauges under "<prefix>.*"
+  // (e.g. "fault.heap.stalls_injected").
+  void ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const;
 
  private:
   // Deterministic Bernoulli + retry draw for stall windows.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/nvm/fault_injector.h"
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
@@ -77,6 +78,15 @@ DeviceCounters MemoryDevice::counters() const {
   c.read_ops = read_ops_.load(std::memory_order_relaxed);
   c.write_ops = write_ops_.load(std::memory_order_relaxed);
   return c;
+}
+
+void MemoryDevice::ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const {
+  const DeviceCounters c = counters();
+  metrics->SetGauge(prefix + ".lifetime.read_bytes", c.read_bytes);
+  metrics->SetGauge(prefix + ".lifetime.write_bytes", c.write_bytes);
+  metrics->SetGauge(prefix + ".lifetime.nt_write_bytes", c.nt_write_bytes);
+  metrics->SetGauge(prefix + ".lifetime.read_ops", c.read_ops);
+  metrics->SetGauge(prefix + ".lifetime.write_ops", c.write_ops);
 }
 
 void MemoryDevice::StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets) {

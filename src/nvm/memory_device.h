@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/nvm/access.h"
 #include "src/nvm/bandwidth_ledger.h"
@@ -24,6 +25,7 @@
 namespace nvmgc {
 
 class FaultInjector;
+class MetricsRegistry;
 
 // Aggregate counters, readable at any time. Snapshot subtraction gives
 // per-phase traffic (e.g. bytes moved during one GC pause).
@@ -84,6 +86,11 @@ class MemoryDevice {
   // Instantaneous model outputs (for tests and monitors).
   MixState CurrentMix(uint64_t now_ns) const;
   double CurrentTotalBandwidthMbps(uint64_t now_ns) const;
+
+  // Publishes the lifetime traffic ledger as gauges under
+  // "<prefix>.lifetime.*" (read_bytes, write_bytes, nt_write_bytes, read_ops,
+  // write_ops) — e.g. "device.heap.lifetime.read_bytes".
+  void ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const;
 
   const DeviceProfile& profile() const { return model_.profile(); }
   const BandwidthModel& model() const { return model_; }

@@ -1,0 +1,126 @@
+#include "src/obs/metrics.h"
+
+#include <utility>
+
+namespace nvmgc {
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, uint64_t value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::RecordHistogram(const std::string& name, uint64_t value) {
+  histograms_[name].Record(value);
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted.
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void MetricsRegistry::RecordPause(PauseSnapshot snapshot) {
+  for (const auto& [name, value] : snapshot.values) {
+    AddCounter(name, value);
+  }
+  pauses_.push_back(std::move(snapshot));
+}
+
+namespace {
+
+// (name, field pointer) table: single source of truth for the cycle→metric
+// mapping, so the name list and the snapshot contents cannot drift apart.
+struct CycleField {
+  const char* name;
+  uint64_t GcCycleStats::* field;
+};
+
+constexpr CycleField kCycleFields[] = {
+    {"gc.pause_ns", &GcCycleStats::pause_ns},
+    {"gc.read_phase_ns", &GcCycleStats::read_phase_ns},
+    {"gc.writeback_phase_ns", &GcCycleStats::writeback_phase_ns},
+    {"gc.objects_copied", &GcCycleStats::objects_copied},
+    {"gc.bytes_copied", &GcCycleStats::bytes_copied},
+    {"gc.objects_promoted", &GcCycleStats::objects_promoted},
+    {"gc.bytes_promoted", &GcCycleStats::bytes_promoted},
+    {"gc.refs_processed", &GcCycleStats::refs_processed},
+    {"gc.steals", &GcCycleStats::steals},
+    {"gc.degraded_pauses", &GcCycleStats::degraded_mode},
+    {"cache.bytes_staged", &GcCycleStats::cache_bytes_staged},
+    {"cache.overflow_bytes", &GcCycleStats::cache_overflow_bytes},
+    {"cache.regions_flushed_sync", &GcCycleStats::regions_flushed_sync},
+    {"cache.regions_flushed_async", &GcCycleStats::regions_flushed_async},
+    {"cache.regions_steal_tainted", &GcCycleStats::regions_steal_tainted},
+    {"cache.fault_denials", &GcCycleStats::cache_fault_denials},
+    {"cache.fallback_workers", &GcCycleStats::cache_fallback_workers},
+    {"cache.fallback_bytes", &GcCycleStats::cache_fallback_bytes},
+    {"hm.installs", &GcCycleStats::header_map_installs},
+    {"hm.overflows", &GcCycleStats::header_map_overflows},
+    {"hm.hits", &GcCycleStats::header_map_hits},
+    {"hm.fault_probes", &GcCycleStats::header_map_fault_probes},
+    {"device.heap.read_bytes", &GcCycleStats::device_read_bytes},
+    {"device.heap.write_bytes", &GcCycleStats::device_write_bytes},
+    {"prefetch.issued", &GcCycleStats::prefetches_issued},
+    {"prefetch.hits", &GcCycleStats::prefetch_hits},
+};
+
+}  // namespace
+
+const std::vector<std::string>& GcPauseMetricNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>;
+    for (const CycleField& f : kCycleFields) {
+      v->push_back(f.name);
+    }
+    return v;
+  }();
+  return *names;
+}
+
+PauseSnapshot SnapshotFromCycle(uint64_t id, const GcCycleStats& cycle) {
+  PauseSnapshot snap;
+  snap.id = id;
+  snap.start_ns = cycle.start_ns;
+  for (const CycleField& f : kCycleFields) {
+    snap.values[f.name] = cycle.*(f.field);
+  }
+  return snap;
+}
+
+void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle) {
+  registry->RecordHistogram("gc.pause_ns", cycle.pause_ns);
+  registry->RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
+  registry->RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
+  registry->RecordPause(SnapshotFromCycle(registry->pauses().size(), cycle));
+}
+
+}  // namespace nvmgc

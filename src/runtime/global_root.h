@@ -1,0 +1,79 @@
+// RAII GC-root handle layered over the Vm's raw root-table API.
+//
+// GlobalRoot is the default way to keep an object alive across collections:
+// it registers a root cell on construction and releases it on destruction, so
+// a root cannot leak or dangle. It is move-only — moving transfers ownership
+// of the underlying cell. The raw NewRoot/SetRoot/GetRoot/ReleaseRoot quartet
+// remains the documented low-level escape hatch for code that manages handle
+// lifetimes itself (e.g. tables of handles with index-based bookkeeping).
+
+#ifndef NVMGC_SRC_RUNTIME_GLOBAL_ROOT_H_
+#define NVMGC_SRC_RUNTIME_GLOBAL_ROOT_H_
+
+#include <utility>
+
+#include "src/runtime/vm.h"
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+class GlobalRoot {
+ public:
+  // An empty (detached) root; Get/Set on it check-fail.
+  GlobalRoot() = default;
+
+  explicit GlobalRoot(Vm& vm, Address value = kNullAddress)
+      : vm_(&vm), handle_(vm.NewRoot(value)) {}
+
+  GlobalRoot(GlobalRoot&& other) noexcept
+      : vm_(std::exchange(other.vm_, nullptr)), handle_(other.handle_) {}
+
+  GlobalRoot& operator=(GlobalRoot&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vm_ = std::exchange(other.vm_, nullptr);
+      handle_ = other.handle_;
+    }
+    return *this;
+  }
+
+  GlobalRoot(const GlobalRoot&) = delete;
+  GlobalRoot& operator=(const GlobalRoot&) = delete;
+
+  ~GlobalRoot() { Reset(); }
+
+  Address Get() const {
+    NVMGC_CHECK_MSG(vm_ != nullptr, "Get() on a detached GlobalRoot");
+    return vm_->GetRoot(handle_);
+  }
+
+  void Set(Address value) {
+    NVMGC_CHECK_MSG(vm_ != nullptr, "Set() on a detached GlobalRoot");
+    vm_->SetRoot(handle_, value);
+  }
+
+  bool attached() const { return vm_ != nullptr; }
+
+  // The raw handle (valid only while attached) — for interop with the
+  // low-level API.
+  RootHandle handle() const {
+    NVMGC_CHECK_MSG(vm_ != nullptr, "handle() on a detached GlobalRoot");
+    return handle_;
+  }
+
+  // Releases the underlying root cell now (idempotent).
+  void Reset() {
+    if (vm_ != nullptr) {
+      vm_->ReleaseRoot(handle_);
+      vm_ = nullptr;
+    }
+  }
+
+ private:
+  Vm* vm_ = nullptr;
+  RootHandle handle_ = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_RUNTIME_GLOBAL_ROOT_H_

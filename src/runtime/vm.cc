@@ -1,18 +1,25 @@
 #include "src/runtime/vm.h"
 
+#include <utility>
+
 #include "src/gc/old_reclaim.h"
+#include "src/nvm/fault_injector.h"
 #include "src/runtime/mutator.h"
 #include "src/util/check.h"
 
 namespace nvmgc {
 
 Vm::Vm(const VmOptions& options) : options_(options) {
+  const std::string gc_error = options.gc.Validate();
+  NVMGC_CHECK_MSG(gc_error.empty(), gc_error.c_str());
   heap_device_ = std::make_unique<MemoryDevice>(options.heap.heap_device == DeviceKind::kNvm
                                                     ? MakeOptaneProfile()
                                                     : MakeDramProfile());
   dram_device_ = std::make_unique<MemoryDevice>(MakeDramProfile());
   heap_ = std::make_unique<Heap>(options.heap, heap_device_.get(), dram_device_.get());
   pool_ = std::make_unique<GcThreadPool>(options.gc.gc_threads);
+  tracer_ = std::make_unique<GcTracer>(options.gc.gc_threads, options.trace_ring_capacity);
+  tracer_->set_enabled(options.trace_gc);
   switch (options.gc.collector) {
     case CollectorKind::kG1:
       collector_ = std::make_unique<G1Collector>(heap_.get(), options.gc, pool_.get());
@@ -21,6 +28,7 @@ Vm::Vm(const VmOptions& options) : options_(options) {
       collector_ = std::make_unique<PsCollector>(heap_.get(), options.gc, pool_.get());
       break;
   }
+  collector_->set_tracer(tracer_.get());
 }
 
 Vm::~Vm() = default;
@@ -72,7 +80,21 @@ std::vector<Address*> Vm::RootSlots() {
 }
 
 GcCycleStats Vm::CollectNow() {
+  const DeviceCounters dram_before = dram_device_->counters();
   const GcCycleStats cycle = collector_->Collect(RootSlots(), &clock_);
+  const DeviceCounters dram_delta = dram_device_->counters() - dram_before;
+
+  // Per-pause snapshot: the merged cycle under stable dotted names, plus the
+  // DRAM-side traffic of the pause (staging writes, header-map probes).
+  PauseSnapshot snap = SnapshotFromCycle(metrics_.pauses().size(), cycle);
+  snap.values["device.dram.read_bytes"] = dram_delta.read_bytes;
+  snap.values["device.dram.write_bytes"] = dram_delta.write_bytes;
+  metrics_.RecordHistogram("gc.pause_ns", cycle.pause_ns);
+  metrics_.RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
+  metrics_.RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
+  metrics_.RecordPause(std::move(snap));
+  ExportLifetimeMetrics();
+
   // Eden was reclaimed: every mutator's TLAB pointer is stale.
   for (auto& mutator : mutators_) {
     mutator->ResetTlab();
@@ -85,6 +107,27 @@ GcCycleStats Vm::CollectNow() {
     ++old_reclaim_count_;
   }
   return cycle;
+}
+
+void Vm::ExportLifetimeMetrics() {
+  heap_device_->ExportMetrics(&metrics_, "device.heap");
+  dram_device_->ExportMetrics(&metrics_, "device.dram");
+  pool_->ExportMetrics(&metrics_);
+  if (collector_->write_cache() != nullptr) {
+    collector_->write_cache()->ExportMetrics(&metrics_);
+  }
+  if (collector_->header_map() != nullptr) {
+    collector_->header_map()->ExportMetrics(&metrics_);
+  }
+  FaultInjector* injector = heap_device_->fault_injector();
+  if (injector != nullptr) {
+    injector->ExportMetrics(&metrics_, "fault.heap");
+  }
+  FaultInjector* dram_injector = dram_device_->fault_injector();
+  if (dram_injector != nullptr) {
+    dram_injector->ExportMetrics(&metrics_, dram_injector == injector ? "fault.heap"
+                                                                      : "fault.dram");
+  }
 }
 
 }  // namespace nvmgc

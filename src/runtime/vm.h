@@ -20,6 +20,8 @@
 #include "src/nvm/device_profile.h"
 #include "src/nvm/memory_device.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace nvmgc {
 
@@ -28,6 +30,11 @@ class Mutator;
 struct VmOptions {
   HeapConfig heap;
   GcOptions gc;
+  // Observability: record GC phase spans into the tracer (off by default —
+  // metrics are always on, tracing costs a ring-buffer write per span).
+  bool trace_gc = false;
+  // Events retained per logical GC thread when tracing.
+  size_t trace_ring_capacity = 4096;
 };
 
 // A stable index into the VM's root table.
@@ -67,6 +74,16 @@ class Vm {
   SimClock& clock() { return clock_; }
   const VmOptions& options() const { return options_; }
 
+  // --- Observability ---
+  // The metrics registry holds a per-pause snapshot and lifetime aggregates
+  // for every collection this Vm ran; lifetime device/cache/header-map/fault
+  // gauges are refreshed at each pause boundary (see src/obs/metrics.h).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // The tracer records phase spans when options().trace_gc is set.
+  GcTracer& tracer() { return *tracer_; }
+  const GcTracer& tracer() const { return *tracer_; }
+
   uint64_t now_ns() const { return clock_.now_ns(); }
   // Application time excluding GC pauses.
   uint64_t app_time_ns() const { return clock_.now_ns() - collector_->stats().total_pause_ns(); }
@@ -76,12 +93,18 @@ class Vm {
  private:
   friend class Mutator;
 
+  // Refreshes lifetime gauges (device ledgers, cache occupancy, header-map
+  // and fault-injector counters) in the metrics registry.
+  void ExportLifetimeMetrics();
+
   VmOptions options_;
   std::unique_ptr<MemoryDevice> heap_device_;
   std::unique_ptr<MemoryDevice> dram_device_;
   std::unique_ptr<Heap> heap_;
   std::unique_ptr<GcThreadPool> pool_;
   std::unique_ptr<CopyCollector> collector_;
+  std::unique_ptr<GcTracer> tracer_;
+  MetricsRegistry metrics_;
   SimClock clock_;
 
   uint64_t old_reclaim_count_ = 0;

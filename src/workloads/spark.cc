@@ -115,25 +115,19 @@ ManagedTable::ManagedTable(Vm* vm, Mutator* mutator, uint64_t entries, uint32_t 
   const uint64_t segments = (entries + segment_entries - 1) / segment_entries;
   for (uint64_t s = 0; s < segments; ++s) {
     const uint64_t len = std::min<uint64_t>(segment_entries, entries - s * segment_entries);
-    segments_.push_back(vm->NewRoot(mutator->AllocateRefArray(segment_klass_, len)));
-  }
-}
-
-ManagedTable::~ManagedTable() {
-  for (RootHandle h : segments_) {
-    vm_->ReleaseRoot(h);
+    segments_.push_back(GlobalRoot(*vm, mutator->AllocateRefArray(segment_klass_, len)));
   }
 }
 
 Address ManagedTable::Get(uint64_t index) const {
   NVMGC_DCHECK(index < entries_);
-  const Address segment = vm_->GetRoot(segments_[index / segment_entries_]);
+  const Address segment = segments_[index / segment_entries_].Get();
   return mutator_->ReadRef(segment, index % segment_entries_);
 }
 
 void ManagedTable::Set(uint64_t index, Address value) {
   NVMGC_DCHECK(index < entries_);
-  const Address segment = vm_->GetRoot(segments_[index / segment_entries_]);
+  const Address segment = segments_[index / segment_entries_].Get();
   mutator_->WriteRef(segment, index % segment_entries_, value);
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/runtime/global_root.h"
 #include "src/runtime/mutator.h"
 #include "src/runtime/vm.h"
 #include "src/workloads/synthetic_app.h"
@@ -39,7 +40,7 @@ WorkloadResult RunSssp(Vm* vm, const SparkConfig& config);
 class ManagedTable {
  public:
   ManagedTable(Vm* vm, Mutator* mutator, uint64_t entries, uint32_t segment_entries = 2048);
-  ~ManagedTable();
+  ~ManagedTable() = default;
 
   ManagedTable(const ManagedTable&) = delete;
   ManagedTable& operator=(const ManagedTable&) = delete;
@@ -54,7 +55,7 @@ class ManagedTable {
   uint64_t entries_;
   uint32_t segment_entries_;
   KlassId segment_klass_;
-  std::vector<RootHandle> segments_;
+  std::vector<GlobalRoot> segments_;
 };
 
 }  // namespace nvmgc

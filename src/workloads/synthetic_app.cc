@@ -16,7 +16,7 @@ SyntheticApp::SyntheticApp(Vm* vm, WorkloadProfile profile)
   container_klass_ = klasses.RegisterRegular(profile_.name + ".Container", 4, 16);
   byte_array_klass_ = klasses.RegisterByteArray(profile_.name + ".byte[]");
   ref_array_klass_ = klasses.RegisterRefArray(profile_.name + ".Object[]");
-  chain_head_ = vm_->NewRoot();
+  chain_head_ = GlobalRoot(*vm_);
 }
 
 Address SyntheticApp::RandomLive() {
@@ -24,7 +24,7 @@ Address SyntheticApp::RandomLive() {
     return kNullAddress;
   }
   const auto& entry = live_window_[rng_.NextBelow(live_window_.size())];
-  return vm_->GetRoot(entry.first);
+  return entry.first.Get();
 }
 
 void SyntheticApp::AttachSurvivor(Address object) {
@@ -34,13 +34,13 @@ void SyntheticApp::AttachSurvivor(Address object) {
     // forms one long dependent pointer walk that a single worker must follow.
     const Klass& k = vm_->heap().klasses().Get(obj::KlassIdOf(object));
     if (obj::RefSlotCount(object, k) > 0) {
-      mutator_->WriteRef(object, 0, vm_->GetRoot(chain_head_));
-      vm_->SetRoot(chain_head_, object);
+      mutator_->WriteRef(object, 0, chain_head_.Get());
+      chain_head_.Set(object);
       chain_started_ = true;
       return;
     }
   }
-  live_window_.emplace_back(vm_->NewRoot(object), size);
+  live_window_.emplace_back(GlobalRoot(*vm_, object), size);
   live_window_bytes_ += size;
   // With some probability, link the previous survivor to this one so the live
   // set is a graph rather than disjoint roots. A link is only ever taken from
@@ -51,7 +51,7 @@ void SyntheticApp::AttachSurvivor(Address object) {
   // chain comes from chain_fraction above.)
   constexpr double kLinkPrevProbability = 0.35;
   if (live_window_.size() >= 2 && rng_.NextBool(kLinkPrevProbability)) {
-    const Address peer = vm_->GetRoot(live_window_[live_window_.size() - 2].first);
+    const Address peer = live_window_[live_window_.size() - 2].first.Get();
     if (peer != kNullAddress && peer != object) {
       const Klass& pk = vm_->heap().klasses().Get(obj::KlassIdOf(peer));
       const size_t nslots = obj::RefSlotCount(peer, pk);
@@ -61,10 +61,8 @@ void SyntheticApp::AttachSurvivor(Address object) {
     }
   }
   while (live_window_bytes_ > profile_.live_window_bytes && live_window_.size() > 1) {
-    auto [handle, bytes] = live_window_.front();
-    live_window_.pop_front();
-    live_window_bytes_ -= bytes;
-    vm_->ReleaseRoot(handle);
+    live_window_bytes_ -= live_window_.front().second;
+    live_window_.pop_front();  // ~GlobalRoot releases the root cell.
   }
 }
 
@@ -154,14 +152,27 @@ WorkloadResult SyntheticApp::Run() {
   return result;
 }
 
+WorkloadResult RunWorkload(const WorkloadProfile& profile, const VmOptions& options,
+                           const std::function<void(Vm&)>& post_run) {
+  Vm vm(options);
+  WorkloadResult result;
+  {
+    // Scoped so the app's roots are released before post_run observes the Vm.
+    SyntheticApp app(&vm, profile);
+    result = app.Run();
+  }
+  if (post_run) {
+    post_run(vm);
+  }
+  return result;
+}
+
 WorkloadResult RunWorkload(const WorkloadProfile& profile, const HeapConfig& heap,
                            const GcOptions& gc) {
   VmOptions options;
   options.heap = heap;
   options.gc = gc;
-  Vm vm(options);
-  SyntheticApp app(&vm, profile);
-  return app.Run();
+  return RunWorkload(profile, options);
 }
 
 }  // namespace nvmgc

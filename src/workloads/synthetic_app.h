@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <utility>
 
+#include "src/runtime/global_root.h"
 #include "src/runtime/mutator.h"
 #include "src/runtime/vm.h"
 #include "src/util/random.h"
@@ -102,9 +105,10 @@ class SyntheticApp {
   KlassId ref_array_klass_ = 0;
 
   // Live window: roots of surviving objects, FIFO-retired by byte budget.
-  std::deque<std::pair<RootHandle, size_t>> live_window_;
+  // GlobalRoot releases each root cell automatically on retirement.
+  std::deque<std::pair<GlobalRoot, size_t>> live_window_;
   size_t live_window_bytes_ = 0;
-  RootHandle chain_head_;
+  GlobalRoot chain_head_;
   bool chain_started_ = false;
 
   uint64_t allocated_bytes_ = 0;
@@ -113,6 +117,12 @@ class SyntheticApp {
 // Convenience: construct a VM for `device`/`gc`, run `profile`, return result.
 WorkloadResult RunWorkload(const WorkloadProfile& profile, const HeapConfig& heap,
                            const GcOptions& gc);
+
+// Full-options variant: `post_run` (when set) receives the Vm after the
+// workload finished but before teardown, so callers can harvest per-pause
+// metrics snapshots and trace events (see Vm::metrics() / Vm::tracer()).
+WorkloadResult RunWorkload(const WorkloadProfile& profile, const VmOptions& options,
+                           const std::function<void(Vm&)>& post_run = {});
 
 }  // namespace nvmgc
 

@@ -1,0 +1,177 @@
+// Tests for GcOptions::Validate(), the chainable GcOptionsBuilder, and the
+// fail-fast paths (Build() and the Vm constructor die with the Validate()
+// message on an incoherent configuration).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/gc/gc_options.h"
+#include "src/runtime/vm.h"
+
+namespace nvmgc {
+namespace {
+
+// Every error message must say what is wrong AND which setter/flag fixes it.
+void ExpectError(const GcOptions& o, const std::string& what,
+                 const std::string& hint) {
+  const std::string error = o.Validate();
+  ASSERT_FALSE(error.empty()) << "expected a validation error mentioning "
+                              << what;
+  EXPECT_NE(error.find(what), std::string::npos) << error;
+  EXPECT_NE(error.find(hint), std::string::npos)
+      << "error lacks an actionable hint: " << error;
+  EXPECT_FALSE(o.valid());
+}
+
+TEST(GcOptionsValidateTest, DefaultsAndPresetsAreValid) {
+  EXPECT_TRUE(GcOptions{}.valid());
+  for (const CollectorKind kind :
+       {CollectorKind::kG1, CollectorKind::kParallelScavenge}) {
+    EXPECT_TRUE(VanillaOptions(kind, 8).valid());
+    EXPECT_TRUE(WriteCacheOptions(kind, 8).valid());
+    EXPECT_TRUE(AllOptimizationsOptions(kind, 8).valid());
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsZeroGcThreads) {
+  GcOptions o;
+  o.gc_threads = 0;
+  ExpectError(o, "gc_threads", "GcThreads");
+}
+
+TEST(GcOptionsValidateTest, RejectsWriteCacheKnobsWithoutWriteCache) {
+  {
+    GcOptions o;
+    o.async_flush = true;
+    ExpectError(o, "async_flush requires use_write_cache", "WriteCache()");
+  }
+  {
+    GcOptions o;
+    o.use_non_temporal = true;
+    ExpectError(o, "use_non_temporal requires use_write_cache", "WriteCache()");
+  }
+  {
+    GcOptions o;
+    o.write_cache_bytes = 1 << 20;
+    ExpectError(o, "write_cache_bytes", "WriteCacheBytes()");
+  }
+  {
+    GcOptions o;
+    o.unlimited_write_cache = true;
+    ExpectError(o, "unlimited_write_cache", "UnlimitedWriteCache()");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsUnlimitedCacheWithExplicitCap) {
+  GcOptions o;
+  o.use_write_cache = true;
+  o.unlimited_write_cache = true;
+  o.write_cache_bytes = 1 << 20;
+  ExpectError(o, "contradicts", "WriteCacheBytes()");
+}
+
+TEST(GcOptionsValidateTest, RejectsHeaderMapKnobsWithoutHeaderMap) {
+  {
+    GcOptions o;
+    o.prefetch_header_map = true;
+    ExpectError(o, "prefetch_header_map requires use_header_map",
+                "HeaderMap()");
+  }
+  {
+    GcOptions o;
+    o.header_map_bytes = 1 << 20;
+    ExpectError(o, "header_map_bytes", "HeaderMapBytes()");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsZeroSearchBound) {
+  GcOptions o;
+  o.use_header_map = true;
+  o.header_map_search_bound = 0;
+  ExpectError(o, "header_map_search_bound", "HeaderMapSearchBound");
+}
+
+TEST(GcOptionsValidateTest, RejectsHeaderMapPrefetchWithoutPrefetch) {
+  GcOptions o;
+  o.use_header_map = true;
+  o.prefetch = false;
+  o.prefetch_header_map = true;
+  ExpectError(o, "prefetch_header_map requires prefetch", "Prefetch()");
+}
+
+TEST(GcOptionsValidateTest, RejectsZeroLabBytesForParallelScavenge) {
+  GcOptions o;
+  o.collector = CollectorKind::kParallelScavenge;
+  o.lab_bytes = 0;
+  ExpectError(o, "lab_bytes", "LabBytes");
+  // G1 never uses LABs, so the same setting is fine there.
+  o.collector = CollectorKind::kG1;
+  EXPECT_TRUE(o.valid());
+}
+
+TEST(GcOptionsBuilderTest, ChainsSetEveryField) {
+  const GcOptions o = GcOptionsBuilder()
+                          .Collector(CollectorKind::kParallelScavenge)
+                          .GcThreads(12)
+                          .WriteCache()
+                          .WriteCacheBytes(4 << 20)
+                          .HeaderMap()
+                          .HeaderMapBytes(2 << 20)
+                          .HeaderMapMinThreads(4)
+                          .HeaderMapSearchBound(8)
+                          .NonTemporal()
+                          .AsyncFlush()
+                          .Prefetch()
+                          .PrefetchHeaderMap()
+                          .LabBytes(32 * 1024)
+                          .AutoDegrade(false)
+                          .Build();
+  EXPECT_EQ(o.collector, CollectorKind::kParallelScavenge);
+  EXPECT_EQ(o.gc_threads, 12u);
+  EXPECT_TRUE(o.use_write_cache);
+  EXPECT_EQ(o.write_cache_bytes, size_t{4} << 20);
+  EXPECT_TRUE(o.use_header_map);
+  EXPECT_EQ(o.header_map_bytes, size_t{2} << 20);
+  EXPECT_EQ(o.header_map_min_threads, 4u);
+  EXPECT_EQ(o.header_map_search_bound, 8u);
+  EXPECT_TRUE(o.use_non_temporal);
+  EXPECT_TRUE(o.async_flush);
+  EXPECT_TRUE(o.prefetch);
+  EXPECT_TRUE(o.prefetch_header_map);
+  EXPECT_EQ(o.lab_bytes, size_t{32} * 1024);
+  EXPECT_FALSE(o.auto_degrade);
+}
+
+TEST(GcOptionsBuilderTest, PresetBaseCanBeTweaked) {
+  const GcOptions base = AllOptimizationsOptions(CollectorKind::kG1, 8);
+  const GcOptions o = GcOptionsBuilder(base).HeaderMapBytes(1 << 20).Build();
+  EXPECT_EQ(o.header_map_bytes, size_t{1} << 20);
+  EXPECT_TRUE(o.use_write_cache);  // Preset fields carried over.
+  EXPECT_TRUE(o.use_non_temporal);
+}
+
+TEST(GcOptionsBuilderTest, BuildUncheckedIsTheEscapeHatch) {
+  const GcOptions o = GcOptionsBuilder().AsyncFlush().BuildUnchecked();
+  EXPECT_TRUE(o.async_flush);
+  EXPECT_FALSE(o.valid());  // Incoherent, but deliberately not rejected.
+}
+
+TEST(GcOptionsDeathTest, BuildDiesOnInvalidCombination) {
+  EXPECT_DEATH(GcOptionsBuilder().GcThreads(0).Build(), "NVMGC_CHECK");
+  EXPECT_DEATH(GcOptionsBuilder().AsyncFlush().Build(),
+               "async_flush requires use_write_cache");
+}
+
+TEST(GcOptionsDeathTest, VmConstructorRejectsInvalidOptions) {
+  VmOptions o;
+  o.heap.region_bytes = 64 * 1024;
+  o.heap.heap_regions = 64;
+  o.heap.dram_cache_regions = 8;
+  o.heap.eden_regions = 8;
+  o.gc = GcOptionsBuilder().PrefetchHeaderMap().BuildUnchecked();
+  EXPECT_DEATH(Vm vm(o), "prefetch_header_map requires use_header_map");
+}
+
+}  // namespace
+}  // namespace nvmgc

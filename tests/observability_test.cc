@@ -1,0 +1,243 @@
+// Tests for the observability layer (src/obs/): the MetricsRegistry with its
+// stable dotted names and snapshot-vs-aggregate consistency, the GcTracer
+// ring buffers, and the Chrome-trace export of a real traced GC cycle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/global_root.h"
+#include "src/runtime/mutator.h"
+#include "src/runtime/vm.h"
+
+namespace nvmgc {
+namespace {
+
+TEST(MetricsRegistryTest, CountersGaugesAndHistograms) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.counter("gc.never_recorded"), 0u);
+  EXPECT_FALSE(m.has_counter("gc.never_recorded"));
+  m.AddCounter("gc.steals", 3);
+  m.AddCounter("gc.steals", 4);
+  EXPECT_EQ(m.counter("gc.steals"), 7u);
+  EXPECT_TRUE(m.has_counter("gc.steals"));
+
+  m.SetGauge("cache.occupancy_bytes", 10);
+  m.SetGauge("cache.occupancy_bytes", 5);  // Last value wins.
+  EXPECT_EQ(m.gauges().at("cache.occupancy_bytes"), 5u);
+
+  EXPECT_EQ(m.histogram("gc.pause_ns"), nullptr);
+  m.RecordHistogram("gc.pause_ns", 100);
+  m.RecordHistogram("gc.pause_ns", 300);
+  ASSERT_NE(m.histogram("gc.pause_ns"), nullptr);
+  EXPECT_EQ(m.histogram("gc.pause_ns")->count(), 2u);
+  EXPECT_EQ(m.histogram("gc.pause_ns")->max(), 300u);
+}
+
+TEST(MetricsRegistryTest, NameListsAreSorted) {
+  MetricsRegistry m;
+  m.AddCounter("hm.installs", 1);
+  m.AddCounter("cache.bytes_staged", 1);
+  m.AddCounter("gc.steals", 1);
+  const std::vector<std::string> names = m.CounterNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.front(), "cache.bytes_staged");
+}
+
+TEST(MetricsRegistryTest, RecordPauseFeedsLifetimeCounters) {
+  MetricsRegistry m;
+  PauseSnapshot a;
+  a.id = 0;
+  a.values["gc.pause_ns"] = 100;
+  a.values["gc.bytes_copied"] = 64;
+  PauseSnapshot b;
+  b.id = 1;
+  b.values["gc.pause_ns"] = 50;
+  b.values["gc.bytes_copied"] = 32;
+  m.RecordPause(a);
+  m.RecordPause(b);
+  ASSERT_EQ(m.pauses().size(), 2u);
+  // Snapshot-vs-aggregate consistency by construction: lifetime counters are
+  // the sums of the per-pause values.
+  EXPECT_EQ(m.counter("gc.pause_ns"), 150u);
+  EXPECT_EQ(m.counter("gc.bytes_copied"), 96u);
+  for (const PauseSnapshot& p : m.pauses()) {
+    for (const auto& [name, value] : p.values) {
+      EXPECT_LE(value, m.counter(name)) << name;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotFromCycleUsesTheStableNames) {
+  GcCycleStats cycle;
+  cycle.start_ns = 42;
+  cycle.pause_ns = 1000;
+  cycle.cache_bytes_staged = 4096;
+  cycle.header_map_installs = 7;
+  cycle.device_read_bytes = 8192;
+  const PauseSnapshot snap = SnapshotFromCycle(3, cycle);
+  EXPECT_EQ(snap.id, 3u);
+  EXPECT_EQ(snap.start_ns, 42u);
+  // The snapshot keys are exactly GcPauseMetricNames() — the documented
+  // stable scheme consumers (bench JSON, CI checker) rely on.
+  const std::vector<std::string>& names = GcPauseMetricNames();
+  ASSERT_EQ(snap.values.size(), names.size());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(snap.values.count(name)) << name;
+  }
+  EXPECT_EQ(snap.values.at("gc.pause_ns"), 1000u);
+  EXPECT_EQ(snap.values.at("cache.bytes_staged"), 4096u);
+  EXPECT_EQ(snap.values.at("hm.installs"), 7u);
+  EXPECT_EQ(snap.values.at("device.heap.read_bytes"), 8192u);
+}
+
+TEST(MetricsRegistryTest, RecordGcCycleAppendsSnapshotAndHistograms) {
+  MetricsRegistry m;
+  GcCycleStats cycle;
+  cycle.pause_ns = 500;
+  cycle.read_phase_ns = 300;
+  cycle.writeback_phase_ns = 200;
+  RecordGcCycle(&m, cycle);
+  RecordGcCycle(&m, cycle);
+  ASSERT_EQ(m.pauses().size(), 2u);
+  EXPECT_EQ(m.pauses()[0].id, 0u);
+  EXPECT_EQ(m.pauses()[1].id, 1u);
+  EXPECT_EQ(m.counter("gc.pause_ns"), 1000u);
+  ASSERT_NE(m.histogram("gc.pause_ns"), nullptr);
+  EXPECT_EQ(m.histogram("gc.pause_ns")->count(), 2u);
+  ASSERT_NE(m.histogram("gc.read_phase_ns"), nullptr);
+  EXPECT_EQ(m.histogram("gc.read_phase_ns")->Mean(), 300.0);
+}
+
+TEST(GcTracerTest, DisabledTracerRecordsNothing) {
+  SimClock clock;
+  GcTracer tracer(2);
+  ASSERT_FALSE(tracer.enabled());
+  tracer.BindThread(0);
+  tracer.Emit("gc.read_phase", "gc", 0, 10);
+  { TraceSpan span(&tracer, &clock, "gc.pause", "gc"); }
+  EXPECT_TRUE(tracer.SortedEvents().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(GcTracerTest, RingOverflowDropsOldestAndCounts) {
+  GcTracer tracer(1, /*ring_capacity=*/4);
+  tracer.set_enabled(true);
+  tracer.BindThread(0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Emit("gc.steal", "gc", i, i + 1);
+  }
+  const std::vector<TraceEvent> events = tracer.SortedEvents();
+  ASSERT_EQ(events.size(), 4u);  // Ring retains the newest capacity events.
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(events.front().start_ns, 6u);
+  EXPECT_EQ(events.back().start_ns, 9u);
+}
+
+VmOptions TracedVm() {
+  VmOptions o;
+  o.heap.region_bytes = 64 * 1024;
+  o.heap.heap_regions = 256;
+  o.heap.dram_cache_regions = 32;
+  o.heap.eden_regions = 32;
+  o.gc = GcOptionsBuilder(AllOptimizationsOptions(CollectorKind::kG1, 4))
+             .HeaderMapMinThreads(2)
+             .Build();
+  o.trace_gc = true;
+  return o;
+}
+
+// Runs two real GC cycles with live data and checks the recorded spans:
+// one gc.pause span per cycle on the control tid, worker read-phase spans on
+// worker tids, every span nested inside its pause.
+TEST(GcTracerTest, TracedGcCycleProducesNestedPhaseSpans) {
+  Vm vm(TracedVm());
+  Mutator* m = vm.CreateMutator();
+  const KlassId refs = vm.heap().klasses().RegisterRefArray("Object[]");
+  const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 64);
+  GlobalRoot table(vm, m->AllocateRefArray(refs, 64));
+  for (size_t i = 0; i < 64; ++i) {
+    m->WriteRef(table.Get(), i, m->AllocateRegular(node));
+  }
+  vm.CollectNow();
+  vm.CollectNow();
+
+  const std::vector<TraceEvent> events = vm.tracer().SortedEvents();
+  ASSERT_FALSE(events.empty());
+  const uint32_t control = vm.tracer().control_tid();
+
+  std::vector<TraceEvent> pauses;
+  std::set<uint32_t> read_tids;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "gc.pause") {
+      EXPECT_EQ(e.tid, control);
+      EXPECT_GT(e.dur_ns, 0u);
+      pauses.push_back(e);
+    } else if (std::string(e.name) == "gc.read_phase") {
+      EXPECT_LT(e.tid, control);  // Worker spans carry worker tids.
+      read_tids.insert(e.tid);
+    }
+  }
+  EXPECT_EQ(pauses.size(), vm.gc_count());
+  EXPECT_FALSE(read_tids.empty());
+
+  // Every non-pause span nests inside some pause interval.
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "gc.pause") continue;
+    const bool nested = std::any_of(
+        pauses.begin(), pauses.end(), [&](const TraceEvent& p) {
+          return p.start_ns <= e.start_ns &&
+                 e.start_ns + e.dur_ns <= p.start_ns + p.dur_ns;
+        });
+    EXPECT_TRUE(nested) << e.name << " @" << e.start_ns;
+  }
+
+  // Metrics agree with the trace: one snapshot per pause, and no per-pause
+  // value exceeds the lifetime counter of the same name.
+  ASSERT_EQ(vm.metrics().pauses().size(), vm.gc_count());
+  for (const PauseSnapshot& p : vm.metrics().pauses()) {
+    for (const auto& [name, value] : p.values) {
+      EXPECT_LE(value, vm.metrics().counter(name)) << name;
+    }
+  }
+  EXPECT_GT(vm.metrics().counter("gc.bytes_copied"), 0u);
+}
+
+TEST(GcTracerTest, WriteChromeTraceProducesLoadableJson) {
+  Vm vm(TracedVm());
+  Mutator* m = vm.CreateMutator();
+  const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 64);
+  GlobalRoot keep(vm, m->AllocateRegular(node));
+  vm.CollectNow();
+
+  const std::string path = testing::TempDir() + "/nvmgc_trace_test.json";
+  ASSERT_TRUE(vm.tracer().WriteChromeTrace(path, "observability_test"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Structural checks on the Chrome-trace envelope; full JSON validation is
+  // scripts/check_bench_artifacts.py's job in CI.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"gc.pause\""), std::string::npos);
+  EXPECT_NE(json.find("\"gc.read_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back() == '\n' ? json[json.size() - 2] : json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace nvmgc

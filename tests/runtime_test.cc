@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 
 #include "src/runtime/gc_report.h"
+#include "src/runtime/global_root.h"
 #include "src/runtime/mutator.h"
 #include "src/runtime/vm.h"
 
@@ -158,6 +160,55 @@ TEST(GcReportTest, SummaryIncludesOptimizationEffectiveness) {
   std::fclose(mem);
   EXPECT_NE(std::strstr(buf, "write cache"), nullptr);
   EXPECT_NE(std::strstr(buf, "header map"), nullptr);
+}
+
+TEST(GlobalRootTest, ReleasesItsSlotOnDestruction) {
+  Vm vm(SmallVm());
+  Mutator* m = vm.CreateMutator();
+  const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 32);
+  {
+    GlobalRoot root(vm, m->AllocateRegular(node));
+    EXPECT_TRUE(root.attached());
+    EXPECT_EQ(vm.RootSlots().size(), 1u);
+    EXPECT_EQ(obj::KlassIdOf(root.Get()), node);
+    root.Set(kNullAddress);
+    EXPECT_EQ(root.Get(), kNullAddress);
+  }
+  EXPECT_EQ(vm.RootSlots().size(), 0u);  // RAII released the slot.
+}
+
+TEST(GlobalRootTest, MoveTransfersOwnership) {
+  Vm vm(SmallVm());
+  GlobalRoot a(vm, 0x40);
+  GlobalRoot b(std::move(a));
+  EXPECT_FALSE(a.attached());
+  EXPECT_TRUE(b.attached());
+  EXPECT_EQ(b.Get(), 0x40u);
+  EXPECT_EQ(vm.RootSlots().size(), 1u);  // Still one slot, not two.
+
+  GlobalRoot c(vm, 0x50);
+  c = std::move(b);  // Move-assign releases c's old slot first.
+  EXPECT_FALSE(b.attached());
+  EXPECT_EQ(c.Get(), 0x40u);
+  EXPECT_EQ(vm.RootSlots().size(), 1u);
+}
+
+TEST(GlobalRootTest, ResetDetachesAndIsIdempotent) {
+  Vm vm(SmallVm());
+  GlobalRoot root(vm, 0x10);
+  root.Reset();
+  EXPECT_FALSE(root.attached());
+  EXPECT_EQ(vm.RootSlots().size(), 0u);
+  root.Reset();  // Second Reset is a no-op.
+  EXPECT_FALSE(root.attached());
+}
+
+TEST(GlobalRootDeathTest, DetachedAccessDies) {
+  Vm vm(SmallVm());
+  GlobalRoot detached;
+  EXPECT_DEATH(detached.Get(), "NVMGC_CHECK");
+  EXPECT_DEATH(detached.Set(0x10), "NVMGC_CHECK");
+  EXPECT_DEATH(detached.handle(), "NVMGC_CHECK");
 }
 
 TEST(VmTest, DramHeapConfigWorksEndToEnd) {

@@ -246,8 +246,10 @@ TEST(WriteCacheFallbackEquivalenceTest, DeniedCacheMatchesNoCacheRun) {
     o.heap.heap_device = DeviceKind::kNvm;
     o.gc.gc_threads = 1;  // Deterministic copy order.
     o.gc.use_write_cache = cache_denied;
-    o.gc.use_non_temporal = true;
-    o.gc.async_flush = true;
+    // NT stores and async flushing only exist with the cache; Validate()
+    // rejects them without it.
+    o.gc.use_non_temporal = cache_denied;
+    o.gc.async_flush = cache_denied;
     Vm vm(o);
     FaultPlan plan;
     plan.AddDramPressure(0, UINT64_MAX);
