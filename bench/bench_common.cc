@@ -158,6 +158,10 @@ WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
     record.pauses = vm.metrics().pauses();
     record.counters = vm.metrics().counters();
     record.gauges = vm.metrics().gauges();
+    record.histograms = vm.metrics().Summaries();
+    if (ctx->timeline_enabled()) {
+      record.timeline = vm.timeline().samples();
+    }
     ctx->AppendTrace(vm.tracer(), record.label);
   });
   record.result = result;
@@ -202,6 +206,10 @@ WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVari
         record.pauses = vm.metrics().pauses();
         record.counters = vm.metrics().counters();
         record.gauges = vm.metrics().gauges();
+        record.histograms = vm.metrics().Summaries();
+        if (ctx->timeline_enabled()) {
+          record.timeline = vm.timeline().samples();
+        }
         ctx->AppendTrace(vm.tracer(), record.label);
       });
       observed = true;

@@ -61,7 +61,10 @@ void RunCase(const std::string& app, GcVariant variant) {
     peak_write = std::max(peak_write, s.write_mbps);
     peak_read = std::max(peak_read, s.read_mbps);
     if (rows < 40) {
-      table.AddRow({FormatDouble(static_cast<double>(s.time_ns - longest->start_ns) / 1e6, 1),
+      // The first bucket can start before the pause does; clamp to 0.
+      const uint64_t rel =
+          s.time_ns > longest->start_ns ? s.time_ns - longest->start_ns : 0;
+      table.AddRow({FormatDouble(static_cast<double>(rel) / 1e6, 1),
                     FormatDouble(s.read_mbps, 0), FormatDouble(s.write_mbps, 0)});
       ++rows;
     }

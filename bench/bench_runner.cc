@@ -60,6 +60,74 @@ void AppendU64Map(std::string* out, const std::map<std::string, uint64_t>& m) {
   out->push_back('}');
 }
 
+void AppendDoubleMap(std::string* out, const std::map<std::string, double>& m) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendString(out, k);
+    out->push_back(':');
+    AppendDouble(out, v);
+  }
+  out->push_back('}');
+}
+
+void AppendHistogramMap(std::string* out, const std::map<std::string, HistogramSummary>& m) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, s] : m) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendString(out, k);
+    out->append(":{\"count\":");
+    AppendU64(out, s.count);
+    out->append(",\"p50\":");
+    AppendU64(out, s.p50);
+    out->append(",\"p95\":");
+    AppendU64(out, s.p95);
+    out->append(",\"p99\":");
+    AppendU64(out, s.p99);
+    out->append(",\"max\":");
+    AppendU64(out, s.max);
+    out->append(",\"mean\":");
+    AppendDouble(out, s.mean);
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+void AppendTimeline(std::string* out, const std::vector<TimelineSample>& samples) {
+  out->push_back('[');
+  bool first = true;
+  for (const TimelineSample& s : samples) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->append("\n{\"pause\":");
+    AppendU64(out, s.pause_id);
+    out->append(",\"phase\":");
+    AppendString(out, GcPhaseKindName(s.phase));
+    out->append(",\"time_ns\":");
+    AppendU64(out, s.time_ns);
+    out->append(",\"read_mbps\":");
+    AppendDouble(out, s.read_mbps);
+    out->append(",\"write_mbps\":");
+    AppendDouble(out, s.write_mbps);
+    out->append(",\"interleave\":");
+    AppendDouble(out, s.interleave);
+    out->append(",\"model_mbps\":");
+    AppendDouble(out, s.model_mbps);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
 void AppendStringMap(std::string* out, const std::map<std::string, std::string>& m) {
   out->push_back('{');
   bool first = true;
@@ -114,8 +182,9 @@ void PrintUsage(const char* name) {
       "  --threads=N     override the bench's default GC thread count\n"
       "  --heap-mb=N     override the default simulated heap size\n"
       "  --collector=K   g1 | ps\n"
-      "  --json=PATH     write machine-readable results (nvmgc.bench.v1)\n"
+      "  --json=PATH     write machine-readable results (nvmgc.bench.v2)\n"
       "  --trace=PATH    write a Chrome-trace / Perfetto JSON timeline\n"
+      "  --timeline      embed per-pause NVM bandwidth samples in --json\n"
       "  --repeat=N      repetitions per data point (default $NVMGC_BENCH_REPS or 2)\n"
       "  --scale=F       allocation-volume scale (default $NVMGC_BENCH_SCALE or 1.0)\n",
       name);
@@ -139,7 +208,7 @@ void BenchContext::AppendTrace(const GcTracer& tracer, const std::string& proces
 
 bool BenchContext::WriteJson(const std::string& bench_name) const {
   std::string out;
-  out.append("{\"schema\":\"nvmgc.bench.v1\",\"bench\":");
+  out.append("{\"schema\":\"nvmgc.bench.v2\",\"bench\":");
   AppendString(&out, bench_name);
   out.append(",\"config\":{\"threads\":");
   AppendU64(&out, threads_);
@@ -178,11 +247,20 @@ bool BenchContext::WriteJson(const std::string& bench_name) const {
     AppendU64(&out, run.result.bytes_allocated);
     out.append(",\"gc_bandwidth_mbps\":");
     AppendDouble(&out, run.result.gc_bandwidth_mbps);
-    out.append("},\"metrics\":{\"counters\":");
+    out.append("},\"extra\":");
+    AppendDoubleMap(&out, run.extra);
+    out.append(",\"metrics\":{\"counters\":");
     AppendU64Map(&out, run.counters);
     out.append(",\"gauges\":");
     AppendU64Map(&out, run.gauges);
-    out.append("},\"pauses\":[");
+    out.append(",\"histograms\":");
+    AppendHistogramMap(&out, run.histograms);
+    out.push_back('}');
+    if (timeline_) {
+      out.append(",\"timeline\":");
+      AppendTimeline(&out, run.timeline);
+    }
+    out.append(",\"pauses\":[");
     bool first_pause = true;
     for (const PauseSnapshot& pause : run.pauses) {
       if (!first_pause) {
@@ -248,6 +326,8 @@ int BenchMain(const char* name, BenchFn fn, int argc, char** argv) {
       ctx.json_path_ = value;
     } else if (MatchFlag(argc, argv, &i, "--trace", &value)) {
       ctx.trace_path_ = value;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      ctx.timeline_ = true;
     } else if (MatchFlag(argc, argv, &i, "--repeat", &value)) {
       ctx.repeat_ = std::atoi(value.c_str());
       if (ctx.repeat_ < 1) {

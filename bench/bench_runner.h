@@ -9,10 +9,14 @@
 //                   hand are unaffected)
 //   --collector=K   g1 | ps
 //   --json=PATH     write a machine-readable result file (schema
-//                   "nvmgc.bench.v1": config + per-run results + lifetime
-//                   metrics + per-pause snapshots)
+//                   "nvmgc.bench.v2": config + per-run results + lifetime
+//                   metrics + per-pause snapshots + histogram percentile
+//                   digests + optional extra scalars)
 //   --trace=PATH    write a merged Chrome-trace / Perfetto JSON file; each
-//                   recorded run becomes one "process" named by its label
+//                   recorded run becomes one "process" named by its label,
+//                   with NVM bandwidth counter tracks under the GC spans
+//   --timeline      embed each observed run's per-pause bandwidth timeline
+//                   (150 us read/write MB/s + interleave samples) in --json
 //   --repeat=N      repetitions averaged per data point (NVMGC_BENCH_REPS)
 //   --scale=F       allocation-volume scale factor (NVMGC_BENCH_SCALE)
 //
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "src/gc/gc_options.h"
+#include "src/obs/device_timeline.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/workloads/synthetic_app.h"
@@ -47,6 +52,13 @@ struct BenchRunRecord {
   std::vector<PauseSnapshot> pauses;
   std::map<std::string, uint64_t> counters;
   std::map<std::string, uint64_t> gauges;
+  // Percentile digests of every registry histogram (schema v2).
+  std::map<std::string, HistogramSummary> histograms;
+  // Per-pause bandwidth samples, harvested only under --timeline (schema v2).
+  std::vector<TimelineSample> timeline;
+  // Bench-specific scalar results (e.g. cassandra p50_ms/p95_ms/p99_ms) that
+  // don't fit WorkloadResult (schema v2).
+  std::map<std::string, double> extra;
 };
 
 class BenchContext {
@@ -67,6 +79,9 @@ class BenchContext {
   bool observing() const { return !json_path_.empty() || !trace_path_.empty(); }
   // True when GC phase tracing should be enabled on observed runs.
   bool tracing() const { return !trace_path_.empty(); }
+  // True when per-pause bandwidth timelines should be embedded in the JSON
+  // artifact (--timeline; adds a "timeline" array per run).
+  bool timeline_enabled() const { return timeline_; }
 
   // --- Recording (called by bench_common) ---
   void RecordRun(BenchRunRecord record);
@@ -88,6 +103,7 @@ class BenchContext {
   CollectorKind collector_ = CollectorKind::kG1;
   std::string json_path_;
   std::string trace_path_;
+  bool timeline_ = false;
   int repeat_ = 0;      // 0 = env/default.
   double scale_ = 0.0;  // 0 = env/default.
 

@@ -1,29 +1,39 @@
 #!/usr/bin/env python3
-"""Diff two nvmgc bench JSON files (--json output, schema nvmgc.bench.v1).
+"""Diff two nvmgc bench JSON files (--json output, schema nvmgc.bench.v1/v2).
 
 Runs are matched by label; for each shared label the headline result metrics
-are compared, with deltas reported as percentages of the baseline. Exit code
-is 0 unless --fail-above is given and some |gc_ns delta| exceeds it.
+are compared, with deltas reported as percentages of the baseline.
+
+--fail-above is direction-aware: for time-like metrics (total_ns, gc_ns,
+app_ns) only a candidate *slower* than baseline beyond PCT fails, for
+gc_bandwidth_mbps only a *drop* beyond PCT fails, and improvements are
+reported but never fail; the neutral metrics (gc_count, bytes_allocated) fail
+on any move beyond PCT in either direction. --fail-any-change is the escape
+hatch that fails on any deviation of any result metric, regardless of
+direction.
 
 Usage:
   bench_diff.py baseline.json candidate.json [--metric gc_ns] [--top N]
-                [--fail-above PCT]
+                [--fail-above PCT] [--fail-any-change]
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "nvmgc.bench.v1"
+SCHEMAS = ("nvmgc.bench.v1", "nvmgc.bench.v2")
 RESULT_METRICS = ("total_ns", "gc_ns", "app_ns", "gc_count", "bytes_allocated",
                   "gc_bandwidth_mbps")
+LOWER_IS_BETTER = {"total_ns", "gc_ns", "app_ns"}
+HIGHER_IS_BETTER = {"gc_bandwidth_mbps"}
+# Everything else (gc_count, bytes_allocated) is neutral: any move counts.
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != SCHEMA:
-        sys.exit(f"{path}: expected schema {SCHEMA}, got {doc.get('schema')!r}")
+    if doc.get("schema") not in SCHEMAS:
+        sys.exit(f"{path}: expected schema in {SCHEMAS}, got {doc.get('schema')!r}")
     return doc
 
 
@@ -31,6 +41,15 @@ def pct(base, cand):
     if base == 0:
         return float("inf") if cand != 0 else 0.0
     return (cand - base) / base * 100.0
+
+
+def regression_pct(metric, delta_pct):
+    """The share of `delta_pct` that counts against the candidate (>= 0)."""
+    if metric in LOWER_IS_BETTER:
+        return max(0.0, delta_pct)
+    if metric in HIGHER_IS_BETTER:
+        return max(0.0, -delta_pct)
+    return abs(delta_pct)
 
 
 def main():
@@ -43,7 +62,10 @@ def main():
     ap.add_argument("--top", type=int, default=20,
                     help="show only the N largest movers (default: 20; 0 = all)")
     ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
-                    help="exit 1 if any |delta| of --metric exceeds PCT percent")
+                    help="exit 1 if any run regresses --metric beyond PCT percent "
+                         "(direction-aware; improvements never fail)")
+    ap.add_argument("--fail-any-change", action="store_true",
+                    help="exit 1 on any deviation of any result metric")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -88,13 +110,27 @@ def main():
     if args.top and len(rows) > args.top:
         print(f"... {len(rows) - args.top} more runs (use --top 0 for all)")
 
+    if args.fail_any_change:
+        changed = [(label, m) for label, metrics in rows
+                   for m in RESULT_METRICS if metrics[m][0] != metrics[m][1]]
+        if changed:
+            print(f"\nFAIL: {len(changed)} metric values changed "
+                  f"(first: {changed[0][0]} {changed[0][1]}) and --fail-any-change is set")
+            return 1
+        print("\nOK: all matched runs identical")
+        return 0
+
     if args.fail_above is not None:
-        worst = max((abs(r[1][args.metric][2]) for r in rows), default=0.0)
+        worst = max((regression_pct(args.metric, r[1][args.metric][2]) for r in rows),
+                    default=0.0)
+        best = min((r[1][args.metric][2] for r in rows), default=0.0)
+        if args.metric in LOWER_IS_BETTER and best < 0:
+            print(f"\nnote: best {args.metric} improvement {best:.1f}% (does not fail)")
         if worst > args.fail_above:
-            print(f"\nFAIL: worst |{args.metric}| delta {worst:.1f}% "
+            print(f"\nFAIL: worst {args.metric} regression {worst:.1f}% "
                   f"> threshold {args.fail_above:.1f}%")
             return 1
-        print(f"\nOK: worst |{args.metric}| delta {worst:.1f}% "
+        print(f"\nOK: worst {args.metric} regression {worst:.1f}% "
               f"<= threshold {args.fail_above:.1f}%")
     return 0
 

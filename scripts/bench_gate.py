@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Regression gate: compare a bench JSON run against a checked-in baseline.
+
+Runs are matched by label. Every baseline label must be present in the
+candidate (a missing label means the bench silently lost coverage). For each
+matched run every headline result metric is compared against a per-metric,
+direction-aware tolerance:
+
+  total_ns / gc_ns / app_ns    fail only when the candidate is SLOWER than
+                               baseline * (1 + tol); speedups always pass
+                               (times vary with host thread scheduling, so
+                               the default tolerance is generous)
+  gc_bandwidth_mbps            fail only when it DROPS below
+                               baseline * (1 - tol)
+  gc_count / bytes_allocated   fail on any move beyond the (tight) tolerance
+                               in either direction — these are allocation-
+                               driven and deterministic per seed
+
+Tiny runs have unbounded *relative* noise (a single sub-millisecond pause can
+swing several-fold with work-steal scheduling), so time metrics additionally
+need an absolute move beyond --floor-ns (default 2 ms) to fail, and
+gc_bandwidth_mbps is not gated at all when the baseline's gc_ns measurement
+window is below that floor.
+
+Exit code 0 when every metric is within tolerance, 1 otherwise.
+
+Usage:
+  bench_gate.py BASELINE.json CANDIDATE.json
+                [--tolerance NAME=PCT]...   override one metric's tolerance
+                [--inject-regression PCT]   self-test: inflate the candidate's
+                                            time metrics by PCT before gating
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMAS = ("nvmgc.bench.v1", "nvmgc.bench.v2")
+
+LOWER_IS_BETTER = {"total_ns", "gc_ns", "app_ns"}
+HIGHER_IS_BETTER = {"gc_bandwidth_mbps"}
+NEUTRAL = {"gc_count", "bytes_allocated"}
+
+# Default tolerances in percent. Simulated times are deterministic per seed
+# only up to work-steal scheduling, which shifts pause boundaries; counts and
+# allocation volume are exact.
+DEFAULT_TOLERANCE = {
+    "total_ns": 50.0,
+    "gc_ns": 50.0,
+    "app_ns": 50.0,
+    "gc_bandwidth_mbps": 50.0,
+    "gc_count": 25.0,
+    "bytes_allocated": 1.0,
+}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: {path}: cannot load: {e}")
+    if doc.get("schema") not in SCHEMAS:
+        sys.exit(f"bench_gate: {path}: expected schema in {SCHEMAS}, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+def parse_tolerances(overrides):
+    tol = dict(DEFAULT_TOLERANCE)
+    for item in overrides:
+        name, _, value = item.partition("=")
+        if name not in tol:
+            sys.exit(f"bench_gate: unknown metric in --tolerance: {name!r} "
+                     f"(known: {sorted(tol)})")
+        try:
+            tol[name] = float(value)
+        except ValueError:
+            sys.exit(f"bench_gate: bad --tolerance value: {item!r}")
+    return tol
+
+
+def check_metric(metric, base, cand, tol_pct, floor_ns):
+    """Returns (ok, regression_pct) for one metric comparison."""
+    if base == 0:
+        return cand == 0, 0.0 if cand == 0 else float("inf")
+    delta_pct = (cand - base) / base * 100.0
+    if metric in LOWER_IS_BETTER:
+        regression = max(0.0, delta_pct)
+        if metric.endswith("_ns") and cand - base <= floor_ns:
+            return True, regression  # Within the absolute noise floor.
+    elif metric in HIGHER_IS_BETTER:
+        regression = max(0.0, -delta_pct)
+    else:
+        regression = abs(delta_pct)
+    return regression <= tol_pct, regression
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", action="append", default=[], metavar="NAME=PCT",
+                    help="override one metric's tolerance, e.g. gc_ns=30")
+    ap.add_argument("--floor-ns", type=float, default=2_000_000.0, metavar="NS",
+                    help="absolute noise floor: a time metric must also move "
+                         "by more than NS to fail, and gc_bandwidth_mbps is "
+                         "ungated when the baseline gc_ns window is below NS "
+                         "(default: 2ms)")
+    ap.add_argument("--inject-regression", type=float, default=None, metavar="PCT",
+                    help="self-test: inflate candidate time metrics by PCT "
+                         "before gating (the gate must then fail)")
+    args = ap.parse_args()
+
+    tolerances = parse_tolerances(args.tolerance)
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    base = {r["label"]: r["result"] for r in base_doc["runs"]}
+    cand = {r["label"]: r["result"] for r in cand_doc["runs"]}
+
+    if args.inject_regression is not None:
+        factor = 1.0 + args.inject_regression / 100.0
+        for result in cand.values():
+            for metric in LOWER_IS_BETTER:
+                result[metric] = result[metric] * factor
+
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        print(f"bench_gate: FAIL: {len(missing)} baseline run(s) absent from "
+              f"candidate: {', '.join(missing[:5])}"
+              + (" ..." if len(missing) > 5 else ""))
+        return 1
+    extra = sorted(set(cand) - set(base))
+    if extra:
+        print(f"bench_gate: note: {len(extra)} candidate run(s) not in baseline "
+              "(new coverage, not gated)")
+
+    failures = []
+    worst = {}  # metric -> worst regression pct seen.
+    skipped_bandwidth = 0
+    for label in sorted(base):
+        for metric, tol_pct in tolerances.items():
+            b, c = base[label].get(metric), cand[label].get(metric)
+            if b is None or c is None:
+                failures.append((label, metric, "metric missing from result"))
+                continue
+            if (metric == "gc_bandwidth_mbps"
+                    and base[label].get("gc_ns", 0) < args.floor_ns):
+                skipped_bandwidth += 1
+                continue
+            ok, regression = check_metric(metric, b, c, tol_pct, args.floor_ns)
+            worst[metric] = max(worst.get(metric, 0.0), regression)
+            if not ok:
+                failures.append(
+                    (label, metric,
+                     f"baseline {b:.6g} -> candidate {c:.6g} "
+                     f"(regression {regression:.1f}% > tolerance {tol_pct:.1f}%)"))
+
+    print(f"bench_gate: {base_doc['bench']}: {len(base)} gated run(s)")
+    if skipped_bandwidth:
+        print(f"  gc_bandwidth_mbps ungated for {skipped_bandwidth} run(s) with "
+              f"baseline gc_ns < {args.floor_ns:.0f} ns")
+    for metric in sorted(worst):
+        print(f"  {metric:<18} worst regression {worst[metric]:6.1f}% "
+              f"(tolerance {tolerances[metric]:.1f}%)")
+    if failures:
+        print(f"\nbench_gate: FAIL: {len(failures)} metric(s) out of tolerance")
+        for label, metric, detail in failures[:20]:
+            print(f"  {label}: {metric}: {detail}")
+        if len(failures) > 20:
+            print(f"  ... {len(failures) - 20} more")
+        return 1
+    print("\nbench_gate: OK: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

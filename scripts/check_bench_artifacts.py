@@ -1,40 +1,86 @@
 #!/usr/bin/env python3
 """Validate the artifacts a bench writes with --json / --trace.
 
-Checks that the result JSON follows schema nvmgc.bench.v1 (required keys,
-well-formed runs, per-pause snapshots keyed by the stable dotted metric
-names) and that the trace file is a loadable Chrome-trace JSON with nested
-GC phase spans. Used by CI after the smoke bench; exits nonzero with a
-message on the first violation.
+Checks that the result JSON follows schema nvmgc.bench.v1 or v2 (required
+keys, well-formed runs, per-pause snapshots keyed by the stable dotted metric
+names; v2 adds histogram percentile digests, optional per-run bandwidth
+timelines and extra scalars) and that the trace file is a loadable
+Chrome-trace JSON with nested GC phase spans. Used by CI after the smoke
+bench; exits nonzero with a message on the first violation.
 
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
-       [--require-pauses] [--require-trace-spans]
+       [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
+       [--require-timeline]
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "nvmgc.bench.v1"
+SCHEMAS = ("nvmgc.bench.v1", "nvmgc.bench.v2")
 RESULT_KEYS = {"total_ns", "gc_ns", "app_ns", "gc_count", "bytes_allocated",
                "gc_bandwidth_mbps"}
 RUN_KEYS = {"label", "workload", "config", "reps", "result", "metrics", "pauses"}
+HISTOGRAM_KEYS = {"count", "p50", "p95", "p99", "max", "mean"}
+TIMELINE_KEYS = {"pause", "phase", "time_ns", "read_mbps", "write_mbps",
+                 "interleave", "model_mbps"}
+TIMELINE_PHASES = {"read", "writeback"}
 # Spans every traced GC cycle must produce (see src/obs/trace.h).
 PHASE_SPANS = {"gc.pause", "gc.read_phase"}
+# Counter tracks the DeviceTimeline emits (see src/obs/device_timeline.h).
+COUNTER_TRACKS = {"nvm.read_mbps", "nvm.write_mbps", "nvm.interleave"}
 
 
 def fail(msg):
     sys.exit(f"check_bench_artifacts: FAIL: {msg}")
 
 
-def check_json(path, require_pauses):
+def check_histograms(path, i, histograms):
+    if not isinstance(histograms, dict):
+        fail(f"{path}: runs[{i}].metrics.histograms is not an object")
+    for name, h in histograms.items():
+        missing = HISTOGRAM_KEYS - h.keys()
+        if missing:
+            fail(f"{path}: runs[{i}] histogram {name!r} missing keys {sorted(missing)}")
+        if h["count"] > 0 and not h["p50"] <= h["p95"] <= h["p99"] <= h["max"]:
+            fail(f"{path}: runs[{i}] histogram {name!r} percentiles not ordered: "
+                 f"p50={h['p50']} p95={h['p95']} p99={h['p99']} max={h['max']}")
+
+
+def check_timeline(path, i, timeline):
+    if not isinstance(timeline, list):
+        fail(f"{path}: runs[{i}].timeline is not a list")
+    prev_time = 0
+    for j, s in enumerate(timeline):
+        missing = TIMELINE_KEYS - s.keys()
+        if missing:
+            fail(f"{path}: runs[{i}].timeline[{j}] missing keys {sorted(missing)}")
+        if s["phase"] not in TIMELINE_PHASES:
+            fail(f"{path}: runs[{i}].timeline[{j}] phase {s['phase']!r} "
+                 f"not in {sorted(TIMELINE_PHASES)}")
+        if s["read_mbps"] < 0 or s["write_mbps"] < 0 or s["model_mbps"] < 0:
+            fail(f"{path}: runs[{i}].timeline[{j}] has a negative bandwidth")
+        if not 0.0 <= s["interleave"] <= 1.0:
+            fail(f"{path}: runs[{i}].timeline[{j}] interleave {s['interleave']} "
+                 "outside [0, 1]")
+        if s["time_ns"] < prev_time:
+            fail(f"{path}: runs[{i}].timeline[{j}] time_ns {s['time_ns']} "
+                 f"precedes previous sample {prev_time}")
+        prev_time = s["time_ns"]
+    return len(timeline)
+
+
+def check_json(path, require_pauses, require_timeline):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: cannot load: {e}")
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("schema") not in SCHEMAS:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected one of {SCHEMAS}")
+    v2 = doc["schema"] == "nvmgc.bench.v2"
+    if require_timeline and not v2:
+        fail(f"{path}: --require-timeline needs schema v2, got {doc['schema']!r}")
     for key in ("bench", "config", "runs"):
         if key not in doc:
             fail(f"{path}: missing top-level key {key!r}")
@@ -44,6 +90,7 @@ def check_json(path, require_pauses):
     if not doc["runs"]:
         fail(f"{path}: runs[] is empty")
     total_pauses = 0
+    total_samples = 0
     for i, run in enumerate(doc["runs"]):
         missing = RUN_KEYS - run.keys()
         if missing:
@@ -54,6 +101,16 @@ def check_json(path, require_pauses):
         for sub in ("counters", "gauges"):
             if sub not in run["metrics"]:
                 fail(f"{path}: runs[{i}].metrics missing {sub!r}")
+        if v2:
+            if "histograms" not in run["metrics"]:
+                fail(f"{path}: runs[{i}].metrics missing 'histograms' (schema v2)")
+            check_histograms(path, i, run["metrics"]["histograms"])
+            if "extra" not in run:
+                fail(f"{path}: runs[{i}] missing 'extra' (schema v2)")
+            if not isinstance(run["extra"], dict):
+                fail(f"{path}: runs[{i}].extra is not an object")
+            if "timeline" in run:
+                total_samples += check_timeline(path, i, run["timeline"])
         for j, pause in enumerate(run["pauses"]):
             for key in ("id", "start_ns", "values"):
                 if key not in pause:
@@ -71,12 +128,16 @@ def check_json(path, require_pauses):
     if require_pauses and total_pauses == 0:
         fail(f"{path}: no run recorded any GC pause "
              "(increase --scale or the workload volume)")
-    print(f"check_bench_artifacts: {path}: OK "
-          f"({len(doc['runs'])} runs, {total_pauses} pauses)")
+    if require_timeline and total_samples == 0:
+        fail(f"{path}: no run embedded timeline samples "
+             "(was the bench invoked with --timeline?)")
+    print(f"check_bench_artifacts: {path}: OK ({doc['schema']}, "
+          f"{len(doc['runs'])} runs, {total_pauses} pauses, "
+          f"{total_samples} timeline samples)")
     return doc
 
 
-def check_trace(path, require_spans):
+def check_trace(path, require_spans, require_counter_tracks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -86,12 +147,18 @@ def check_trace(path, require_spans):
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents missing or empty")
     names = set()
+    counter_names = set()
     for e in events:
         for key in ("name", "ph", "pid", "tid"):
             if key not in e:
                 fail(f"{path}: event missing {key!r}: {e}")
         if e["ph"] == "X" and "dur" not in e:
             fail(f"{path}: complete event missing dur: {e}")
+        if e["ph"] == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: counter event lacks numeric args.value: {e}")
+            counter_names.add(e["name"])
         names.add(e["name"])
     if require_spans:
         missing = PHASE_SPANS - names
@@ -101,8 +168,12 @@ def check_trace(path, require_spans):
         tids = {e["tid"] for e in events if e["name"] == "gc.read_phase"}
         if len(tids) < 1:
             fail(f"{path}: no gc.read_phase spans with worker tids")
-    print(f"check_bench_artifacts: {path}: OK "
-          f"({len(events)} events, {len(names)} span names)")
+    if require_counter_tracks:
+        missing = COUNTER_TRACKS - counter_names
+        if missing:
+            fail(f"{path}: expected counter tracks absent: {sorted(missing)}")
+    print(f"check_bench_artifacts: {path}: OK ({len(events)} events, "
+          f"{len(names)} span names, {len(counter_names)} counter tracks)")
 
 
 def main():
@@ -114,10 +185,14 @@ def main():
                     help="fail when no run recorded a GC pause")
     ap.add_argument("--require-trace-spans", action="store_true",
                     help="fail when the trace lacks gc.pause / gc.read_phase spans")
+    ap.add_argument("--require-counter-tracks", action="store_true",
+                    help="fail when the trace lacks nvm.* bandwidth counter tracks")
+    ap.add_argument("--require-timeline", action="store_true",
+                    help="fail when no run embedded bandwidth timeline samples")
     args = ap.parse_args()
-    check_json(args.json, args.require_pauses)
+    check_json(args.json, args.require_pauses, args.require_timeline)
     if args.trace:
-        check_trace(args.trace, args.require_trace_spans)
+        check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks)
     return 0
 
 

@@ -8,9 +8,13 @@
 #   - nvmgc_fault_stress: randomized seeded fault plans with heap verification
 #     after every GC cycle;
 #   - nvmgc_bench_smoke: a small bench_fig05_gc_time run writing --json/--trace
-#     artifacts into <build>/artifacts/ (retained after the run);
+#     artifacts (with --timeline bandwidth samples) into <build>/artifacts/
+#     (retained after the run);
 #   - nvmgc_bench_artifacts_check: scripts/check_bench_artifacts.py validating
-#     the smoke artifacts against the nvmgc.bench.v1 schema.
+#     the smoke artifacts against the nvmgc.bench.v2 schema, including the
+#     NVM bandwidth counter tracks in the trace;
+#   - nvmgc_bench_gate (+ its WILL_FAIL selftest): scripts/bench_gate.py
+#     comparing the smoke run against the checked-in BENCH_baseline.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +27,9 @@ for preset in default sanitize; do
   echo "=== [${preset}] test ==="
   ctest --preset "${preset}" -j "$(nproc)"
 done
+
+echo "=== bench regression gate (default build artifacts) ==="
+python3 scripts/bench_gate.py BENCH_baseline.json build/artifacts/smoke.json
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

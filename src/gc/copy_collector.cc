@@ -239,6 +239,17 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   const DeviceCounters after = heap_->heap_device()->counters();
   cycle.device_read_bytes = (after - before).read_bytes;
   cycle.device_write_bytes = (after - before).write_bytes;
+
+  // Drain the ledger buckets into the bandwidth timeline while they are still
+  // resident (the ring spans ~9.6 ms of simulated time). Phase windows are
+  // half-open and contiguous, so no bucket lands in both.
+  size_t timeline_from = 0;
+  if (timeline_ != nullptr) {
+    timeline_from = timeline_->size();
+    timeline_->SamplePhase(gc_epoch_, GcPhaseKind::kRead, t0, read_end, n);
+    timeline_->SamplePhase(gc_epoch_, GcPhaseKind::kWriteback, read_end, pause_end, n);
+  }
+
   pause_end += kPauseFixedOverheadNs;
   cycle.start_ns = t0;
   cycle.pause_ns = pause_end - t0;
@@ -253,6 +264,9 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
       tracer_->EmitInstant("gc.degraded", "gc", t0);
     }
     tracer_->Emit("gc.pause", "gc", t0, pause_end);
+    if (timeline_ != nullptr) {
+      timeline_->EmitCounters(tracer_, timeline_from);
+    }
   }
 
   app_clock->SetTime(pause_end);

@@ -34,6 +34,7 @@
 #include "src/heap/heap.h"
 #include "src/nvm/prefetch_queue.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/device_timeline.h"
 #include "src/obs/trace.h"
 
 namespace nvmgc {
@@ -63,6 +64,12 @@ class CopyCollector {
   // the collector; pass nullptr to detach.
   void set_tracer(GcTracer* tracer);
   GcTracer* tracer() { return tracer_; }
+
+  // Attaches the heap-device bandwidth timeline, sampled at the end of every
+  // pause (read phase, then write-back phase). Must outlive the collector;
+  // pass nullptr to detach.
+  void set_timeline(DeviceTimeline* timeline) { timeline_ = timeline; }
+  DeviceTimeline* timeline() { return timeline_; }
 
  protected:
   // Policy hook: may this object be staged through the write cache? PS copies
@@ -107,6 +114,7 @@ class CopyCollector {
   GcOptions options_;
   GcThreadPool* pool_;
   GcTracer* tracer_ = nullptr;
+  DeviceTimeline* timeline_ = nullptr;
 
   std::unique_ptr<HeaderMap> header_map_;
   std::unique_ptr<WriteCache> write_cache_;

@@ -1,0 +1,107 @@
+// Per-region access heatmap for a simulated memory device.
+//
+// Divides a device's arena into fixed-size slots (one per heap region) and
+// counts, per slot, the read/write bytes and the *discontiguous* writes — a
+// write whose start address is not the end of the previous write into the
+// same slot. The discontiguity count is the direct, spatial evidence for the
+// paper's central claim: the vanilla collector scatters small random writes
+// (forwarding installs, slot updates) across survivor regions, while the
+// write cache turns each region's write-back into one contiguous stream.
+// Optane behavior hinges on exactly this distinction — the device's 256-byte
+// XPLine write amplification punishes discontiguous sub-line writes.
+
+#ifndef NVMGC_SRC_NVM_ACCESS_HEATMAP_H_
+#define NVMGC_SRC_NVM_ACCESS_HEATMAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nvm/access.h"
+
+namespace nvmgc {
+
+class MetricsRegistry;
+
+// Plain-value snapshot of one region slot (see AccessHeatmap::Snapshot).
+struct RegionHeat {
+  uint32_t region = 0;  // Slot index == region index within the arena.
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t discontiguous_writes = 0;
+
+  // Fraction of writes that continued the previous write's stream. 1.0 for an
+  // untouched or perfectly sequential region.
+  double contiguous_write_fraction() const {
+    if (write_ops == 0) {
+      return 1.0;
+    }
+    return 1.0 - static_cast<double>(discontiguous_writes) / static_cast<double>(write_ops);
+  }
+};
+
+// Aggregate over all slots (what ExportMetrics publishes as gauges).
+struct HeatmapTotals {
+  uint64_t regions_read = 0;     // Slots with at least one read.
+  uint64_t regions_written = 0;  // Slots with at least one write.
+  uint64_t write_ops = 0;
+  uint64_t discontiguous_writes = 0;
+  uint64_t max_region_write_bytes = 0;
+
+  double contiguous_write_fraction() const {
+    if (write_ops == 0) {
+      return 1.0;
+    }
+    return 1.0 - static_cast<double>(discontiguous_writes) / static_cast<double>(write_ops);
+  }
+};
+
+// Thread-safe (relaxed atomics — the heatmap feeds evidence, not invariants).
+// Unconfigured heatmaps ignore every charge; addresses outside the configured
+// arena are ignored too (mutator handles and other host memory).
+class AccessHeatmap {
+ public:
+  AccessHeatmap() = default;
+
+  AccessHeatmap(const AccessHeatmap&) = delete;
+  AccessHeatmap& operator=(const AccessHeatmap&) = delete;
+
+  // Covers [base, base + region_bytes * regions) with one slot per region.
+  // Reconfiguring resets all slots.
+  void Configure(uint64_t base, uint64_t region_bytes, uint32_t regions);
+  bool configured() const { return region_bytes_ != 0; }
+  uint32_t regions() const { return static_cast<uint32_t>(slots_.size()); }
+
+  void Charge(const AccessDescriptor& d);
+
+  // Copies out the per-region counters (index == slot == region index).
+  std::vector<RegionHeat> Snapshot() const;
+  HeatmapTotals Totals() const;
+
+  // Publishes aggregate gauges under "<prefix>.heatmap.*": regions_read,
+  // regions_written, write_ops, discontiguous_writes,
+  // max_region_write_bytes, contiguous_write_permille.
+  void ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> read_bytes{0};
+    std::atomic<uint64_t> write_bytes{0};
+    std::atomic<uint64_t> read_ops{0};
+    std::atomic<uint64_t> write_ops{0};
+    std::atomic<uint64_t> discontiguous_writes{0};
+    // End address of the most recent write into this slot (0 = none yet).
+    std::atomic<uint64_t> last_write_end{0};
+  };
+
+  uint64_t base_ = 0;
+  uint64_t region_bytes_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_NVM_ACCESS_HEATMAP_H_

@@ -32,6 +32,17 @@ void BandwidthLedger::Charge(uint64_t now_ns, const AccessDescriptor& d) {
   }
 }
 
+bool BandwidthLedger::ReadBucket(uint64_t epoch, BucketSample* out) const {
+  const Bucket& b = ring_[epoch % kRingSize];
+  if (b.epoch.load(std::memory_order_relaxed) != epoch) {
+    return false;
+  }
+  out->read_bytes = b.read_bytes.load(std::memory_order_relaxed);
+  out->write_bytes = b.write_bytes.load(std::memory_order_relaxed);
+  out->nt_bytes = b.nt_bytes.load(std::memory_order_relaxed);
+  return true;
+}
+
 BandwidthLedger::Mix BandwidthLedger::SampleMix(uint64_t now_ns, int window_buckets) const {
   const uint64_t current = now_ns / bucket_ns_;
   uint64_t reads = 0;

@@ -42,7 +42,21 @@ class BandwidthLedger {
   // Mix over the last `window_buckets` buckets ending at `now_ns`.
   Mix SampleMix(uint64_t now_ns, int window_buckets = 3) const;
 
+  // One epoch's raw byte counters, readable while the epoch is still resident
+  // in the ring (the ring spans kRingSize * bucket_ns() of simulated time).
+  struct BucketSample {
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t nt_bytes = 0;
+    uint64_t total_bytes() const { return read_bytes + write_bytes; }
+  };
+  // Reads the bucket for `epoch` (== time_ns / bucket_ns()). Returns false
+  // when the epoch was never charged or its slot has been reused for a newer
+  // epoch; the DeviceTimeline sampler counts that as a missing bucket.
+  bool ReadBucket(uint64_t epoch, BucketSample* out) const;
+
   uint64_t bucket_ns() const { return bucket_ns_; }
+  static constexpr int ring_size() { return kRingSize; }
 
  private:
   struct Bucket {

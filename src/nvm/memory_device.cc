@@ -53,6 +53,7 @@ uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
   clock->Advance(cost);
 
   ledger_.Charge(now, d);
+  heatmap_.Charge(d);
   if (recording_.load(std::memory_order_acquire)) {
     recorder_->Charge(now, d);
   }
@@ -87,6 +88,7 @@ void MemoryDevice::ExportMetrics(MetricsRegistry* metrics, const std::string& pr
   metrics->SetGauge(prefix + ".lifetime.nt_write_bytes", c.nt_write_bytes);
   metrics->SetGauge(prefix + ".lifetime.read_ops", c.read_ops);
   metrics->SetGauge(prefix + ".lifetime.write_ops", c.write_ops);
+  heatmap_.ExportMetrics(metrics, prefix);
 }
 
 void MemoryDevice::StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets) {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/nvm/access.h"
+#include "src/nvm/access_heatmap.h"
 #include "src/nvm/bandwidth_ledger.h"
 #include "src/nvm/bandwidth_model.h"
 #include "src/nvm/device_profile.h"
@@ -87,9 +88,19 @@ class MemoryDevice {
   MixState CurrentMix(uint64_t now_ns) const;
   double CurrentTotalBandwidthMbps(uint64_t now_ns) const;
 
+  // The sliding-window traffic ledger (the DeviceTimeline sampler drains its
+  // per-epoch buckets into per-pause bandwidth series).
+  const BandwidthLedger& ledger() const { return ledger_; }
+
+  // Per-region access heatmap. Unconfigured (and thus free) until the heap
+  // binds its arena via heatmap().Configure(); see src/nvm/access_heatmap.h.
+  AccessHeatmap& heatmap() { return heatmap_; }
+  const AccessHeatmap& heatmap() const { return heatmap_; }
+
   // Publishes the lifetime traffic ledger as gauges under
   // "<prefix>.lifetime.*" (read_bytes, write_bytes, nt_write_bytes, read_ops,
-  // write_ops) — e.g. "device.heap.lifetime.read_bytes".
+  // write_ops) — e.g. "device.heap.lifetime.read_bytes" — plus the heatmap
+  // aggregates under "<prefix>.heatmap.*" when the heatmap is configured.
   void ExportMetrics(MetricsRegistry* metrics, const std::string& prefix) const;
 
   const DeviceProfile& profile() const { return model_.profile(); }
@@ -99,6 +110,7 @@ class MemoryDevice {
  private:
   BandwidthModel model_;
   BandwidthLedger ledger_;
+  AccessHeatmap heatmap_;
 
   std::atomic<uint32_t> active_threads_{0};
   std::atomic<uint64_t> read_bytes_{0};

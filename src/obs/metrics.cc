@@ -30,6 +30,33 @@ const Histogram* MetricsRegistry::histogram(const std::string& name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+HistogramSummary Summarize(const Histogram& h) {
+  HistogramSummary s;
+  if (h.count() == 0) {
+    return s;
+  }
+  s.count = h.count();
+  s.p50 = h.Percentile(50.0);
+  s.p95 = h.Percentile(95.0);
+  s.p99 = h.Percentile(99.0);
+  s.max = h.max();
+  s.mean = h.Mean();
+  return s;
+}
+
+HistogramSummary MetricsRegistry::Summary(const std::string& name) const {
+  const Histogram* h = histogram(name);
+  return h == nullptr ? HistogramSummary{} : Summarize(*h);
+}
+
+std::map<std::string, HistogramSummary> MetricsRegistry::Summaries() const {
+  std::map<std::string, HistogramSummary> out;
+  for (const auto& [name, hist] : histograms_) {
+    out[name] = Summarize(hist);
+  }
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::CounterNames() const {
   std::vector<std::string> names;
   names.reserve(counters_.size());

@@ -29,6 +29,20 @@ struct PauseSnapshot {
   std::map<std::string, uint64_t> values;
 };
 
+// Plain-value percentile digest of one histogram (what reports and bench
+// JSON carry — the full bucket array never leaves the registry).
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+};
+
+// Digest of `h` (all zeros for an empty histogram).
+HistogramSummary Summarize(const Histogram& h);
+
 class MetricsRegistry {
  public:
   // --- Lifetime aggregates ---
@@ -42,6 +56,10 @@ class MetricsRegistry {
   uint64_t counter(const std::string& name) const;
   const Histogram* histogram(const std::string& name) const;
   bool has_counter(const std::string& name) const;
+  // Percentile digest of the named histogram (zero digest when absent).
+  HistogramSummary Summary(const std::string& name) const;
+  // Digests of every recorded histogram, keyed by name.
+  std::map<std::string, HistogramSummary> Summaries() const;
 
   // Stable (sorted) name lists.
   std::vector<std::string> CounterNames() const;

@@ -90,6 +90,32 @@ void GcTracer::EmitInstant(const char* name, const char* cat, uint64_t now_ns) {
   Emit(name, cat, now_ns, now_ns);
 }
 
+void GcTracer::EmitCounter(const char* name, const char* cat, uint64_t now_ns, double value) {
+  if (!enabled()) {
+    return;
+  }
+  Ring* ring = BoundRing();
+  if (ring == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.tid = tls_binding.tid;
+  e.start_ns = now_ns;
+  e.kind = TraceEventKind::kCounter;
+  e.value = value;
+  if (ring->events.size() < ring_capacity_) {
+    ring->events.push_back(e);
+  } else {
+    ring->events[ring->next % ring_capacity_] = e;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++ring->next;
+  ++ring->total;
+}
+
 std::vector<TraceEvent> GcTracer::SortedEvents() const {
   std::vector<TraceEvent> all;
   for (const Ring& ring : rings_) {
@@ -131,7 +157,12 @@ void GcTracer::AppendChromeEvents(std::string* out, uint32_t pid,
     out->append("\",\"cat\":\"");
     AppendJsonEscaped(out, e.cat);
     out->append("\",\"ph\":");
-    if (e.dur_ns > 0) {
+    if (e.kind == TraceEventKind::kCounter) {
+      out->append("\"C\",\"ts\":");
+      AppendMicros(out, e.start_ns);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.3f}", e.value);
+      out->append(buf);
+    } else if (e.dur_ns > 0) {
       out->append("\"X\",\"ts\":");
       AppendMicros(out, e.start_ns);
       out->append(",\"dur\":");

@@ -25,15 +25,23 @@
 
 namespace nvmgc {
 
-// One completed span (dur_ns > 0) or instant event (dur_ns == 0). Names and
-// categories are static strings owned by the call sites — the hot path never
-// allocates.
+// One completed span (dur_ns > 0), instant event (dur_ns == 0), or counter
+// sample (kCounter: `value` carries the sampled number, rendered by Perfetto
+// as a counter track per (pid, name)). Names and categories are static
+// strings owned by the call sites — the hot path never allocates.
+enum class TraceEventKind : uint8_t {
+  kSpanOrInstant,
+  kCounter,
+};
+
 struct TraceEvent {
   const char* name = nullptr;
   const char* cat = nullptr;
   uint32_t tid = 0;
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  TraceEventKind kind = TraceEventKind::kSpanOrInstant;
+  double value = 0.0;  // Counter events only.
 };
 
 class GcTracer {
@@ -60,6 +68,9 @@ class GcTracer {
   // Events emitted by an unbound thread are dropped (counted).
   void Emit(const char* name, const char* cat, uint64_t start_ns, uint64_t end_ns);
   void EmitInstant(const char* name, const char* cat, uint64_t now_ns);
+  // Emits one counter sample ("ph":"C"); Perfetto renders consecutive samples
+  // of the same name as a step curve under the process, aligned with spans.
+  void EmitCounter(const char* name, const char* cat, uint64_t now_ns, double value);
 
   // All retained events across rings, ordered by (start_ns, tid). Not safe
   // concurrently with emitting threads.

@@ -120,6 +120,26 @@ void PrintGcSummary(Vm* vm, std::FILE* out) {
     std::fprintf(out, "  faulted probes:  %llu header-map probes under an active fault\n",
                  static_cast<unsigned long long>(totals.header_map_fault_probes));
   }
+
+  // Percentile digest of every histogram the registry accumulated (pause and
+  // phase durations always; workload latencies when the workload records them).
+  const auto summaries = vm->metrics().Summaries();
+  if (!summaries.empty()) {
+    std::fprintf(out, "  percentiles (ms):\n");
+    TablePrinter table({"metric", "count", "p50", "p95", "p99", "max", "mean"});
+    for (const auto& [name, s] : summaries) {
+      if (s.count == 0) {
+        continue;
+      }
+      table.AddRow({name, std::to_string(s.count),
+                    FormatDouble(static_cast<double>(s.p50) / 1e6, 3),
+                    FormatDouble(static_cast<double>(s.p95) / 1e6, 3),
+                    FormatDouble(static_cast<double>(s.p99) / 1e6, 3),
+                    FormatDouble(static_cast<double>(s.max) / 1e6, 3),
+                    FormatDouble(s.mean / 1e6, 3)});
+    }
+    table.Print(out);
+  }
 }
 
 }  // namespace nvmgc

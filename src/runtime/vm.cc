@@ -29,6 +29,8 @@ Vm::Vm(const VmOptions& options) : options_(options) {
       break;
   }
   collector_->set_tracer(tracer_.get());
+  timeline_ = std::make_unique<DeviceTimeline>(heap_device_.get());
+  collector_->set_timeline(timeline_.get());
 }
 
 Vm::~Vm() = default;

@@ -20,6 +20,7 @@
 #include "src/nvm/device_profile.h"
 #include "src/nvm/memory_device.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/device_timeline.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -83,6 +84,10 @@ class Vm {
   // The tracer records phase spans when options().trace_gc is set.
   GcTracer& tracer() { return *tracer_; }
   const GcTracer& tracer() const { return *tracer_; }
+  // The heap device's per-pause bandwidth timeline (always sampled; a pause
+  // adds a handful of 150 us samples, so the cost is negligible).
+  DeviceTimeline& timeline() { return *timeline_; }
+  const DeviceTimeline& timeline() const { return *timeline_; }
 
   uint64_t now_ns() const { return clock_.now_ns(); }
   // Application time excluding GC pauses.
@@ -104,6 +109,7 @@ class Vm {
   std::unique_ptr<GcThreadPool> pool_;
   std::unique_ptr<CopyCollector> collector_;
   std::unique_ptr<GcTracer> tracer_;
+  std::unique_ptr<DeviceTimeline> timeline_;
   MetricsRegistry metrics_;
   SimClock clock_;
 

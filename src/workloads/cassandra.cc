@@ -62,7 +62,11 @@ LatencyResult CassandraService::RunPhase(uint64_t requests, double offered_kqps,
       ServeRead(row);
     }
     vm_->clock().Advance(kRequestCpuNs);
-    latencies.Record(vm_->now_ns() - arrival);
+    const uint64_t latency_ns = vm_->now_ns() - arrival;
+    latencies.Record(latency_ns);
+    // Also feed the Vm's registry so the op latencies surface in GcReport's
+    // percentile table and in bench JSON histogram digests.
+    vm_->metrics().RecordHistogram("cassandra.op_latency_ns", latency_ns);
   }
   LatencyResult result;
   result.offered_kqps = offered_kqps;

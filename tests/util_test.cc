@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"
@@ -174,6 +175,121 @@ TEST(HistogramTest, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ResetThenRecordBehavesLikeFresh) {
+  Histogram h;
+  h.Record(1'000'000);
+  h.Reset();
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_NEAR(h.Percentile(50), 42, 42 * 0.07);
+}
+
+TEST(HistogramTest, MergeDisjointRangesPreservesCountSumAndExtremes) {
+  Histogram low;
+  Histogram high;
+  double expected_sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    low.Record(100 + i);  // [100, 199]
+    high.Record(1'000'000 + i * 1000);  // [1e6, ~1.1e6]
+    expected_sum += (100 + i) + (1'000'000 + i * 1000);
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 200u);
+  EXPECT_EQ(low.min(), 100u);
+  EXPECT_EQ(low.max(), 1'099'000u);
+  EXPECT_NEAR(low.Mean() * low.count(), expected_sum, expected_sum * 0.07);
+  // The merged median sits in the gap boundary: half the mass is low-range.
+  EXPECT_LE(low.Percentile(49), 250u);
+  EXPECT_GE(low.Percentile(51), 900'000u);
+}
+
+TEST(HistogramTest, MergeOverlappingRangesMatchesDirectRecording) {
+  Histogram merged;
+  Histogram other;
+  Histogram direct;
+  Random r(17);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t a = r.NextBelow(10'000);
+    const uint64_t b = 5'000 + r.NextBelow(10'000);
+    merged.Record(a);
+    other.Record(b);
+    direct.Record(a);
+    direct.Record(b);
+  }
+  merged.Merge(other);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), direct.Mean());
+  for (int p : {1, 10, 25, 50, 75, 90, 99, 100}) {
+    EXPECT_EQ(merged.Percentile(p), direct.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileEdgesBracketTheDistribution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  // p0 resolves at/near the minimum, p100 at/near the maximum (both within
+  // the bucketing error bound).
+  EXPECT_LE(h.Percentile(0), h.Percentile(1));
+  EXPECT_NEAR(h.Percentile(0), 1, 1);
+  EXPECT_NEAR(h.Percentile(100), 1000, 1000 * 0.07);
+  EXPECT_GE(h.Percentile(100), h.max() * 93 / 100);
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInP) {
+  Histogram h;
+  Random r(29);
+  for (int i = 0; i < 20000; ++i) {
+    h.Record(1 + r.NextBelow(1'000'000'000));
+  }
+  uint64_t prev = 0;
+  for (int p = 0; p <= 100; ++p) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "Percentile(" << p << ") < Percentile(" << p - 1 << ")";
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SummarizeDigest) {
+  Histogram empty;
+  const HistogramSummary zero = Summarize(empty);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.p50, 0u);
+  EXPECT_EQ(zero.max, 0u);
+  EXPECT_EQ(zero.mean, 0.0);
+
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  const HistogramSummary s = Summarize(h);
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_EQ(s.max, 10000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_NEAR(s.p50, 5000, 5000 * 0.07);
+  EXPECT_NEAR(s.mean, 5000.5, 5000.5 * 0.01);
+}
+
+TEST(HistogramTest, RegistrySummariesCoverRecordedMetrics) {
+  MetricsRegistry metrics;
+  metrics.RecordHistogram("a.lat", 100);
+  metrics.RecordHistogram("a.lat", 300);
+  metrics.RecordHistogram("b.lat", 7);
+  const auto summaries = metrics.Summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries.at("a.lat").count, 2u);
+  EXPECT_EQ(summaries.at("b.lat").count, 1u);
+  EXPECT_EQ(metrics.Summary("a.lat").count, 2u);
+  EXPECT_EQ(metrics.Summary("missing").count, 0u);
 }
 
 TEST(TablePrinterTest, AddRowRequiresMatchingWidth) {
