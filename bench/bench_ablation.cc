@@ -23,19 +23,27 @@ struct AblationCase {
   bool prefetch = true;   // Vanilla G1 ships with prefetch.
   bool async = false;
   bool eden_on_dram = false;
+  // Start from AdaptiveOptions() and let the policy engine retune between
+  // pauses (the flag fields above are ignored then).
+  bool adaptive = false;
 };
 
 double RunCase(const WorkloadProfile& profile, const AblationCase& c, uint32_t threads) {
   const int reps = BenchRepetitions();
   double total = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
-    GcOptions gc = VanillaOptions(CollectorKind::kG1, threads);
-    gc.use_write_cache = c.write_cache;
-    gc.use_non_temporal = c.non_temporal;
-    gc.use_header_map = c.header_map;
-    gc.prefetch = c.prefetch;
-    gc.prefetch_header_map = c.header_map && c.prefetch;
-    gc.async_flush = c.async;
+    GcOptions gc;
+    if (c.adaptive) {
+      gc = AdaptiveOptions(CollectorKind::kG1, threads);
+    } else {
+      gc = VanillaOptions(CollectorKind::kG1, threads);
+      gc.use_write_cache = c.write_cache;
+      gc.use_non_temporal = c.non_temporal;
+      gc.use_header_map = c.header_map;
+      gc.prefetch = c.prefetch;
+      gc.prefetch_header_map = c.header_map && c.prefetch;
+      gc.async_flush = c.async;
+    }
     WorkloadProfile p = profile;
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
     total += RunSingle(p, DefaultHeap(DeviceKind::kNvm, c.eden_on_dram), gc).gc_seconds();
@@ -53,6 +61,7 @@ int Main(BenchContext& ctx) {
       {"+headermap only", false, false, true},
       {"+all (sync)", true, true, true},
       {"+all (async)", true, true, true, true, true},
+      {"adaptive", false, false, false, true, false, false, true},
       {"young-dram", false, false, false, true, false, true},
       {"young-dram +all (future work)", true, true, true, true, false, true},
   };

@@ -10,7 +10,7 @@ bench; exits nonzero with a message on the first violation.
 
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
        [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
-       [--require-timeline]
+       [--require-timeline] [--require-policy-tracks]
 """
 
 import argparse
@@ -29,6 +29,11 @@ TIMELINE_PHASES = {"read", "writeback"}
 PHASE_SPANS = {"gc.pause", "gc.read_phase"}
 # Counter tracks the DeviceTimeline emits (see src/obs/device_timeline.h).
 COUNTER_TRACKS = {"nvm.read_mbps", "nvm.write_mbps", "nvm.interleave"}
+# Counter tracks the adaptive policy engine emits once per pause
+# (see src/policy/policy_engine.h).
+POLICY_TRACKS = {"policy.active_threads", "policy.write_cache_mb",
+                 "policy.header_map_entries", "policy.async_flush",
+                 "policy.prefetch_window", "policy.decisions_total"}
 
 
 def fail(msg):
@@ -137,7 +142,7 @@ def check_json(path, require_pauses, require_timeline):
     return doc
 
 
-def check_trace(path, require_spans, require_counter_tracks):
+def check_trace(path, require_spans, require_counter_tracks, require_policy_tracks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -172,6 +177,11 @@ def check_trace(path, require_spans, require_counter_tracks):
         missing = COUNTER_TRACKS - counter_names
         if missing:
             fail(f"{path}: expected counter tracks absent: {sorted(missing)}")
+    if require_policy_tracks:
+        missing = POLICY_TRACKS - counter_names
+        if missing:
+            fail(f"{path}: expected policy counter tracks absent: {sorted(missing)} "
+                 "(was an adaptive configuration traced?)")
     print(f"check_bench_artifacts: {path}: OK ({len(events)} events, "
           f"{len(names)} span names, {len(counter_names)} counter tracks)")
 
@@ -189,10 +199,14 @@ def main():
                     help="fail when the trace lacks nvm.* bandwidth counter tracks")
     ap.add_argument("--require-timeline", action="store_true",
                     help="fail when no run embedded bandwidth timeline samples")
+    ap.add_argument("--require-policy-tracks", action="store_true",
+                    help="fail when the trace lacks the policy.* counter tracks "
+                         "of the adaptive engine")
     args = ap.parse_args()
     check_json(args.json, args.require_pauses, args.require_timeline)
     if args.trace:
-        check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks)
+        check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks,
+                    args.require_policy_tracks)
     return 0
 
 

@@ -14,7 +14,11 @@
 #     the smoke artifacts against the nvmgc.bench.v2 schema, including the
 #     NVM bandwidth counter tracks in the trace;
 #   - nvmgc_bench_gate (+ its WILL_FAIL selftest): scripts/bench_gate.py
-#     comparing the smoke run against the checked-in BENCH_baseline.json.
+#     comparing the smoke run against the checked-in BENCH_baseline.json;
+#   - nvmgc_bench_adaptive_smoke / _artifacts_check / _gate: the adaptive
+#     policy engine's phase-shifting bench (which enforces its own acceptance
+#     criteria), its policy.* counter tracks, and its regression baseline
+#     (BENCH_baseline_adaptive.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +34,7 @@ done
 
 echo "=== bench regression gate (default build artifacts) ==="
 python3 scripts/bench_gate.py BENCH_baseline.json build/artifacts/smoke.json
+python3 scripts/bench_gate.py BENCH_baseline_adaptive.json build/artifacts/adaptive.json
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

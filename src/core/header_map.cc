@@ -1,5 +1,6 @@
 #include "src/core/header_map.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/nvm/fault_injector.h"
@@ -155,6 +156,16 @@ void HeaderMap::ClearJournal(std::vector<uint32_t>* journal, SimClock* clock) {
     dram_->Access(clock, RandomWrite(reinterpret_cast<Address>(&entry), sizeof(Entry)));
   }
   journal->clear();
+}
+
+void HeaderMap::ResizeEntries(size_t entries) {
+  entries = std::bit_floor(std::max<size_t>(entries, 16));
+  if (entries == capacity()) {
+    return;
+  }
+  NVMGC_DCHECK(OccupiedEntries() == 0);  // Between pauses the map is empty.
+  mask_ = entries - 1;
+  entries_ = std::make_unique<Entry[]>(entries);
 }
 
 void HeaderMap::ExportMetrics(MetricsRegistry* metrics) const {

@@ -67,6 +67,12 @@ class HeaderMap {
   size_t capacity() const { return mask_ + 1; }
   size_t OccupiedEntries() const;
 
+  // Replaces the table with one of `entries` slots (rounded down to a power of
+  // two, floor 16). Only legal between pauses: the map is empty then — every
+  // install is journaled and cleared at pause end — so no live forwarding
+  // pointer can be dropped. Used by the adaptive policy engine.
+  void ResizeEntries(size_t entries);
+
   // Stats (monotonic across a run; the collector snapshots deltas).
   uint64_t installs() const { return installs_.load(std::memory_order_relaxed); }
   uint64_t overflows() const { return overflows_.load(std::memory_order_relaxed); }

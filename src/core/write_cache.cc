@@ -17,12 +17,13 @@ constexpr uint64_t kPairAllocNs = 250;
 WriteCache::WriteCache(Heap* heap, const GcOptions& options)
     : heap_(heap),
       non_temporal_(options.use_non_temporal),
-      async_(options.async_flush),
-      unlimited_(options.unlimited_write_cache) {
+      unlimited_(options.unlimited_write_cache),
+      async_(options.async_flush) {
   NVMGC_CHECK(heap != nullptr);
-  capacity_bytes_ = options.write_cache_bytes != 0
-                        ? options.write_cache_bytes
-                        : heap->heap_arena_bytes() / 32;  // Paper default: heap/32.
+  capacity_bytes_.store(options.write_cache_bytes != 0
+                            ? options.write_cache_bytes
+                            : heap->heap_arena_bytes() / 32,  // Paper default: heap/32.
+                        std::memory_order_relaxed);
 }
 
 void WriteCache::EnterDirectFallback(WriteCacheWorkerState* state, GcCycleStats* stats) {
@@ -38,7 +39,7 @@ bool WriteCache::Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation
   }
   while (true) {
     if (state->cache_region == nullptr) {
-      if (!unlimited_ && staged_bytes_.load(std::memory_order_relaxed) >= capacity_bytes_) {
+      if (!unlimited_ && staged_bytes_.load(std::memory_order_relaxed) >= capacity_bytes()) {
         return false;  // Cap reached: caller copies directly into NVM.
       }
       FaultInjector* injector = heap_->dram_device()->fault_injector();
@@ -189,7 +190,7 @@ void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, b
 }
 
 void WriteCache::ExportMetrics(MetricsRegistry* metrics) const {
-  metrics->SetGauge("cache.capacity_bytes", unlimited_ ? 0 : capacity_bytes_);
+  metrics->SetGauge("cache.capacity_bytes", unlimited_ ? 0 : capacity_bytes());
   metrics->SetGauge("cache.staged_bytes_now", staged_bytes());
   metrics->SetGauge("cache.unlimited", unlimited_ ? 1 : 0);
 }

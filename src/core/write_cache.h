@@ -87,8 +87,17 @@ class WriteCache {
   std::vector<Region*> TakePauseTwins();
 
   size_t staged_bytes() const { return staged_bytes_.load(std::memory_order_relaxed); }
-  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_.load(std::memory_order_relaxed); }
   bool unlimited() const { return unlimited_; }
+
+  // Between-pause retuning hooks for the adaptive policy engine. Both are
+  // plain publications: workers re-read the values on their next allocation /
+  // pair close, so calling these mid-pause would be safe but is only done by
+  // CopyCollector::ApplyTuning between pauses.
+  void SetCapacityBytes(size_t bytes) {
+    capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  void SetAsync(bool async) { async_.store(async, std::memory_order_relaxed); }
 
   // Observability: when a tracer is attached, every region flush emits a
   // "cache.flush.sync" / "cache.flush.async" span on the flushing worker's
@@ -103,7 +112,9 @@ class WriteCache {
   // the write-back is a plain synchronous stream of cache-line stores.
   void SetDegraded(bool degraded) { degraded_.store(degraded, std::memory_order_relaxed); }
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
-  bool async_enabled() const { return async_ && !degraded(); }
+  bool async_enabled() const {
+    return async_.load(std::memory_order_relaxed) && !degraded();
+  }
   bool non_temporal_enabled() const { return non_temporal_ && !degraded(); }
 
  private:
@@ -120,9 +131,9 @@ class WriteCache {
   Heap* heap_;
   GcTracer* tracer_ = nullptr;
   const bool non_temporal_;
-  const bool async_;
   const bool unlimited_;
-  size_t capacity_bytes_;
+  std::atomic<bool> async_;
+  std::atomic<size_t> capacity_bytes_;
 
   std::atomic<bool> degraded_{false};
   std::atomic<size_t> staged_bytes_{0};

@@ -23,7 +23,7 @@ constexpr uint64_t kPauseFixedOverheadNs = 40'000;
 }  // namespace
 
 CopyCollector::CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool* pool)
-    : heap_(heap), options_(options), pool_(pool) {
+    : heap_(heap), options_(options), tuning_(DefaultGcTuning(options)), pool_(pool) {
   NVMGC_CHECK(heap != nullptr && pool != nullptr);
   NVMGC_CHECK(pool->thread_count() == options.gc_threads);
   workers_.resize(options.gc_threads);
@@ -56,9 +56,30 @@ void CopyCollector::set_tracer(GcTracer* tracer) {
 }
 
 bool CopyCollector::HeaderMapActive() const {
-  // The header map only pays off once the read bandwidth is contended; below
-  // the thread threshold its extra lookup latency is a net loss (Section 3.3).
-  return header_map_ != nullptr && options_.gc_threads >= options_.header_map_min_threads;
+  // The header map only pays off once the read bandwidth is contended; the
+  // static gate (gc_threads >= header_map_min_threads, Section 3.3) is baked
+  // into DefaultGcTuning, and the adaptive policy may override it per pause.
+  return header_map_ != nullptr && tuning_.header_map_enabled;
+}
+
+void CopyCollector::ApplyTuning(const GcTuning& tuning) {
+  NVMGC_CHECK(queues_->AllEmpty());  // Only between pauses.
+  GcTuning t = tuning;
+  t.active_gc_threads = std::clamp<uint32_t>(t.active_gc_threads, 1, options_.gc_threads);
+  t.header_map_enabled = t.header_map_enabled && header_map_ != nullptr;
+  t.async_flush = t.async_flush && write_cache_ != nullptr;
+  t.prefetch_window =
+      std::clamp<uint32_t>(t.prefetch_window, 1, PrefetchQueue::kCapacity);
+  if (write_cache_ != nullptr) {
+    if (t.write_cache_capacity_bytes != 0) {
+      write_cache_->SetCapacityBytes(t.write_cache_capacity_bytes);
+    }
+    write_cache_->SetAsync(t.async_flush);
+  }
+  if (header_map_ != nullptr && t.header_map_entries != 0) {
+    header_map_->ResizeEntries(t.header_map_entries);
+  }
+  tuning_ = t;
 }
 
 MemoryDevice* CopyCollector::DeviceForAddress(Address a) {
@@ -96,8 +117,12 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   });
 
   // --- Seed worker queues with roots and remembered-set entries. ---
+  // Only the first `n` workers participate this pause (the adaptive policy
+  // may have shrunk the active count); their queues get all the seed work and
+  // every loop below — dispatch, lockstep, termination, stats merge — is
+  // bounded by `n` so parked workers never contribute stale state.
   size_t qi = 0;
-  const uint32_t n = options_.gc_threads;
+  const uint32_t n = tuning_.active_gc_threads;
   for (Address* root : roots) {
     queues_->queue(qi++ % n).Push(reinterpret_cast<Address>(root));
   }
@@ -117,10 +142,12 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   {
     ScopedDeviceActivity heap_activity(heap_->heap_device(), n);
     ScopedDeviceActivity dram_activity(heap_->dram_device(), n);
-    pool_->RunParallel([&](uint32_t id) {
+    pool_->RunParallel(n, [&](uint32_t id) {
       Worker& w = workers_[id];
       w.local = GcCycleStats{};
       w.clock.SetTime(t0);
+      w.prefetch.SetWindow(tuning_.prefetch_window);
+      w.hm_prefetch.SetWindow(tuning_.prefetch_window);
       w.prefetch.Reset();
       w.hm_prefetch.Reset();
       w.cache_state = WriteCacheWorkerState{};
@@ -134,21 +161,21 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     });
   }
   uint64_t read_end = t0;
-  for (const Worker& w : workers_) {
-    read_end = std::max(read_end, w.clock.now_ns());
+  for (uint32_t i = 0; i < n; ++i) {
+    read_end = std::max(read_end, workers_[i].clock.now_ns());
   }
   if (std::getenv("NVMGC_GC_DEBUG") != nullptr) {
     uint64_t sum = 0;
     uint64_t max_objs = 0;
-    for (const Worker& w : workers_) {
-      sum += w.clock.now_ns() - t0;
-      max_objs = std::max(max_objs, w.local.objects_copied);
+    for (uint32_t i = 0; i < n; ++i) {
+      sum += workers_[i].clock.now_ns() - t0;
+      max_objs = std::max(max_objs, workers_[i].local.objects_copied);
     }
     std::fprintf(stderr,
                  "[gc %llu] read phase max=%.2fms avg=%.2fms max_worker_objs=%llu\n",
                  static_cast<unsigned long long>(gc_epoch_),
                  static_cast<double>(read_end - t0) / 1e6,
-                 static_cast<double>(sum) / workers_.size() / 1e6,
+                 static_cast<double>(sum) / n / 1e6,
                  static_cast<unsigned long long>(max_objs));
   }
 
@@ -168,7 +195,7 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   if (write_cache_ != nullptr || HeaderMapActive()) {
     ScopedDeviceActivity heap_activity(heap_->heap_device(), n);
     ScopedDeviceActivity dram_activity(heap_->dram_device(), n);
-    pool_->RunParallel([&](uint32_t id) {
+    pool_->RunParallel(n, [&](uint32_t id) {
       Worker& w = workers_[id];
       w.clock.SetTime(read_end);
       if (tracer_ != nullptr) {
@@ -186,8 +213,8 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
         header_map_->ClearJournal(&w.hm_journal, &w.clock);
       }
     });
-    for (const Worker& w : workers_) {
-      pause_end = std::max(pause_end, w.clock.now_ns());
+    for (uint32_t i = 0; i < n; ++i) {
+      pause_end = std::max(pause_end, workers_[i].clock.now_ns());
     }
   }
 
@@ -205,7 +232,8 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
 
   // --- Assemble cycle statistics. ---
   GcCycleStats cycle;
-  for (Worker& w : workers_) {
+  for (uint32_t i = 0; i < n; ++i) {
+    Worker& w = workers_[i];
     const GcCycleStats& l = w.local;
     cycle.objects_copied += l.objects_copied;
     cycle.bytes_copied += l.bytes_copied;
@@ -278,7 +306,7 @@ void CopyCollector::DrainWorker(Worker* w) {
   TaskQueue& own = queues_->queue(w->id);
   Address slot = kNullAddress;
   std::vector<Address> steal_buffer;
-  const uint32_t n = options_.gc_threads;
+  const uint32_t n = tuning_.active_gc_threads;
   // A worker may run at most this far (simulated) ahead of the slowest
   // non-idle worker before parking.
   constexpr uint64_t kLockstepWindowNs = 100'000;
@@ -325,7 +353,7 @@ void CopyCollector::DrainWorker(Worker* w) {
       if (!queues_->AllEmpty()) {
         break;
       }
-      if (idle_workers_.load(std::memory_order_acquire) == options_.gc_threads) {
+      if (idle_workers_.load(std::memory_order_acquire) == n) {
         done = true;
         break;
       }

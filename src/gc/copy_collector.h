@@ -55,6 +55,14 @@ class CopyCollector {
   GcStats& stats() { return stats_; }
   const GcStats& stats() const { return stats_; }
   const GcOptions& options() const { return options_; }
+
+  // Installs the per-pause tuning produced by the adaptive policy engine.
+  // Only legal between pauses. Values are clamped to what this collector can
+  // honor (thread count to the pool size, feature toggles to constructed
+  // subsystems); capacity changes are applied to the write cache / header map
+  // immediately — both are empty between pauses, so nothing is dropped.
+  void ApplyTuning(const GcTuning& tuning);
+  const GcTuning& tuning() const { return tuning_; }
   HeaderMap* header_map() { return header_map_.get(); }
   WriteCache* write_cache() { return write_cache_.get(); }
   virtual const char* name() const { return "copy"; }
@@ -112,6 +120,9 @@ class CopyCollector {
 
   Heap* heap_;
   GcOptions options_;
+  // The per-pause mutable view of options_: static runs keep DefaultGcTuning
+  // forever; adaptive runs rewrite it between pauses via ApplyTuning.
+  GcTuning tuning_;
   GcThreadPool* pool_;
   GcTracer* tracer_ = nullptr;
   DeviceTimeline* timeline_ = nullptr;

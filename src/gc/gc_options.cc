@@ -68,7 +68,65 @@ std::string GcOptions::Validate() const {
     return "lab_bytes is 0 with the ParallelScavenge collector: every object would "
            "bypass the local allocation buffers (use LabBytes(n) with n > 0)";
   }
+  if (adaptive.enabled) {
+    if (adaptive.step_fraction <= 0.0 || adaptive.step_fraction > 1.0) {
+      return "adaptive.step_fraction must be in (0, 1]: it is the multiplicative "
+             "grow/shrink step for capacity knobs (fix it via "
+             "AdaptivePolicy(AdaptivePolicyOptions))";
+    }
+    if (adaptive.min_gc_threads == 0) {
+      return "adaptive.min_gc_threads is 0: the controller must keep at least one "
+             "worker active (set min_gc_threads >= 1 via "
+             "AdaptivePolicy(AdaptivePolicyOptions))";
+    }
+    if (adaptive.min_gc_threads > gc_threads) {
+      return "adaptive.min_gc_threads exceeds gc_threads: the clamp range must fit "
+             "inside the constructed pool (lower min_gc_threads or raise GcThreads "
+             "before AdaptivePolicy(AdaptivePolicyOptions))";
+    }
+    if (adaptive.max_gc_threads != 0) {
+      if (adaptive.max_gc_threads > gc_threads) {
+        return "adaptive.max_gc_threads exceeds gc_threads: the pool only has "
+               "gc_threads workers, the controller cannot add more (lower "
+               "max_gc_threads or raise GcThreads before "
+               "AdaptivePolicy(AdaptivePolicyOptions))";
+      }
+      if (adaptive.max_gc_threads < adaptive.min_gc_threads) {
+        return "adaptive.max_gc_threads is below adaptive.min_gc_threads: the "
+               "thread clamp range is empty (fix the range via "
+               "AdaptivePolicy(AdaptivePolicyOptions))";
+      }
+    }
+    if (adaptive.min_write_cache_bytes == 0) {
+      return "adaptive.min_write_cache_bytes is 0: the controller could shrink the "
+             "write cache to nothing and every survivor would stall on a capacity "
+             "probe (set a positive floor via AdaptivePolicy(AdaptivePolicyOptions))";
+    }
+    if (adaptive.max_write_cache_bytes != 0 &&
+        adaptive.min_write_cache_bytes > adaptive.max_write_cache_bytes) {
+      return "adaptive.min_write_cache_bytes exceeds adaptive.max_write_cache_bytes: "
+             "the write-cache clamp range is empty (fix the range via "
+             "AdaptivePolicy(AdaptivePolicyOptions))";
+    }
+    if (use_write_cache && unlimited_write_cache) {
+      return "adaptive.enabled contradicts unlimited_write_cache: the controller "
+             "tunes a bounded capacity cap (drop UnlimitedWriteCache() or "
+             "AdaptivePolicy())";
+    }
+  }
   return std::string();
+}
+
+GcTuning DefaultGcTuning(const GcOptions& options) {
+  GcTuning t;
+  t.active_gc_threads = options.gc_threads;
+  t.write_cache_capacity_bytes = 0;  // Keep the constructed capacity.
+  t.header_map_enabled =
+      options.use_header_map && options.gc_threads >= options.header_map_min_threads;
+  t.header_map_entries = 0;  // Keep the constructed table size.
+  t.async_flush = options.async_flush;
+  t.prefetch_window = 64;  // PrefetchQueue::kCapacity (full distance).
+  return t;
 }
 
 GcOptionsBuilder& GcOptionsBuilder::Collector(CollectorKind kind) {
@@ -131,6 +189,14 @@ GcOptionsBuilder& GcOptionsBuilder::AutoDegrade(bool on) {
   o_.auto_degrade = on;
   return *this;
 }
+GcOptionsBuilder& GcOptionsBuilder::AdaptivePolicy(bool on) {
+  o_.adaptive.enabled = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::AdaptivePolicy(const AdaptivePolicyOptions& adaptive) {
+  o_.adaptive = adaptive;
+  return *this;
+}
 
 GcOptions GcOptionsBuilder::Build() const {
   const std::string error = o_.Validate();
@@ -156,6 +222,13 @@ GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads) {
       .NonTemporal()
       .Prefetch()
       .PrefetchHeaderMap()
+      .Build();
+}
+
+GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder(AllOptimizationsOptions(collector, threads))
+      .AsyncFlush()
+      .AdaptivePolicy()
       .Build();
 }
 

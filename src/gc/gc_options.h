@@ -21,6 +21,31 @@ enum class CollectorKind : uint8_t {
 
 const char* CollectorKindName(CollectorKind kind);
 
+// Configuration of the adaptive policy engine (src/policy/): when enabled, a
+// per-pause feedback controller retunes the NVM optimizations between pauses
+// (write-cache capacity, header-map gating/size, async flushing, prefetch
+// distance, GC thread count) from the previous pauses' measured behavior.
+// Every adapted value stays inside the clamp ranges below, which Validate()
+// checks against the static configuration.
+struct AdaptivePolicyOptions {
+  bool enabled = false;
+  // Pauses observed before the first decision (the signal history warms up).
+  uint32_t warmup_pauses = 1;
+  // Minimum pauses between two consecutive changes of the same knob.
+  uint32_t cooldown_pauses = 1;
+  // Multiplicative step for capacity knobs, in (0, 1]: grow multiplies by
+  // (1 + step), shrink by (1 - step).
+  double step_fraction = 0.5;
+  // Clamp range for the adapted GC thread count. max 0 = gc_threads (the
+  // pool size, which is also the hard upper bound).
+  uint32_t min_gc_threads = 1;
+  uint32_t max_gc_threads = 0;
+  // Clamp range for the adapted write-cache capacity. max 0 = derived from
+  // the heap geometry (the DRAM cache arena, capped at heap/8).
+  size_t min_write_cache_bytes = 256 * 1024;
+  size_t max_write_cache_bytes = 0;
+};
+
 struct GcOptions {
   CollectorKind collector = CollectorKind::kG1;
   uint32_t gc_threads = 8;
@@ -63,12 +88,39 @@ struct GcOptions {
   // begins outside the window.
   bool auto_degrade = true;
 
+  // --- Adaptive policy ---
+  // Per-pause feedback tuning of the knobs above (see AdaptivePolicyOptions).
+  AdaptivePolicyOptions adaptive;
+
   // Returns an empty string when the configuration is coherent, otherwise an
   // actionable description of the first problem found (what is wrong and
   // which setter/flag fixes it). Checked by the Vm constructor.
   std::string Validate() const;
   bool valid() const { return Validate().empty(); }
 };
+
+// The per-pause mutable subset of GcOptions. The collector consumes a GcTuning
+// at the start of every pause; between pauses the policy engine (src/policy/)
+// rewrites it within the AdaptivePolicyOptions clamp ranges. DefaultGcTuning
+// reproduces the static configuration exactly, so a Vm without the adaptive
+// policy behaves as if the tuning layer did not exist.
+struct GcTuning {
+  // Workers participating in the next pause, in [1, gc_threads]. Inactive
+  // workers stay parked; their queues receive no seed work.
+  uint32_t active_gc_threads = 1;
+  // Write-cache capacity cap; 0 = keep the constructed capacity.
+  size_t write_cache_capacity_bytes = 0;
+  // Overrides the static >= header_map_min_threads gate.
+  bool header_map_enabled = false;
+  // Header-map table size (entries, power of two); 0 = keep the current size.
+  size_t header_map_entries = 0;
+  bool async_flush = false;
+  // Outstanding-prefetch budget (the prefetch distance), clamped to
+  // [1, PrefetchQueue::kCapacity].
+  uint32_t prefetch_window = 64;
+};
+
+GcTuning DefaultGcTuning(const GcOptions& options);
 
 // Chainable construction of a validated GcOptions. Build() check-fails with
 // the Validate() message on an incoherent combination; start from a preset
@@ -93,6 +145,8 @@ class GcOptionsBuilder {
   GcOptionsBuilder& PrefetchHeaderMap(bool on = true);
   GcOptionsBuilder& LabBytes(size_t bytes);
   GcOptionsBuilder& AutoDegrade(bool on = true);
+  GcOptionsBuilder& AdaptivePolicy(bool on = true);
+  GcOptionsBuilder& AdaptivePolicy(const AdaptivePolicyOptions& adaptive);
 
   // Validates and returns the options; dies with the Validate() message on an
   // invalid combination.
@@ -115,6 +169,10 @@ GcOptions WriteCacheOptions(CollectorKind collector, uint32_t threads);
 // "+all": write cache + header map + non-temporal write-back + prefetching
 // (extended to the header map).
 GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads);
+
+// "adaptive": +all with asynchronous flushing, governed by the policy engine
+// — every optimization starts enabled and the controller retunes from there.
+GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads);
 
 }  // namespace nvmgc
 

@@ -25,10 +25,17 @@ GcThreadPool::~GcThreadPool() {
 }
 
 void GcThreadPool::RunParallel(const std::function<void(uint32_t)>& fn) {
+  RunParallel(thread_count(), fn);
+}
+
+void GcThreadPool::RunParallel(uint32_t active_threads,
+                               const std::function<void(uint32_t)>& fn) {
+  NVMGC_CHECK(active_threads >= 1 && active_threads <= thread_count());
   std::unique_lock<std::mutex> lock(mu_);
   NVMGC_CHECK(remaining_ == 0);
   ++parallel_phases_;
   current_fn_ = &fn;
+  active_threads_ = active_threads;
   remaining_ = thread_count();
   ++epoch_;
   work_cv_.notify_all();
@@ -40,6 +47,7 @@ void GcThreadPool::WorkerLoop(uint32_t id) {
   uint64_t seen_epoch = 0;
   while (true) {
     const std::function<void(uint32_t)>* fn = nullptr;
+    uint32_t active = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
@@ -48,8 +56,11 @@ void GcThreadPool::WorkerLoop(uint32_t id) {
       }
       seen_epoch = epoch_;
       fn = current_fn_;
+      active = active_threads_;
     }
-    (*fn)(id);
+    if (id < active) {
+      (*fn)(id);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--remaining_ == 0) {

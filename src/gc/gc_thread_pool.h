@@ -30,6 +30,11 @@ class GcThreadPool {
   // Runs fn(worker_id) on every worker; returns when all have completed.
   void RunParallel(const std::function<void(uint32_t)>& fn);
 
+  // Runs fn(worker_id) on workers [0, active_threads); the rest wake, skip
+  // the phase, and re-park. The adaptive policy uses this to shrink the
+  // effective GC parallelism without tearing down pool threads.
+  void RunParallel(uint32_t active_threads, const std::function<void(uint32_t)>& fn);
+
   uint32_t thread_count() const { return static_cast<uint32_t>(workers_.size()); }
 
   // Parallel phases dispatched over the pool's lifetime (a pause runs one or
@@ -48,6 +53,7 @@ class GcThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(uint32_t)>* current_fn_ = nullptr;
+  uint32_t active_threads_ = 0;  // Workers with id >= this skip the phase.
   uint64_t epoch_ = 0;
   uint32_t remaining_ = 0;
   bool stopping_ = false;

@@ -17,7 +17,7 @@ namespace nvmgc {
 
 class PrefetchQueue {
  public:
-  static constexpr size_t kCapacity = 64;  // Outstanding-prefetch budget.
+  static constexpr size_t kCapacity = 64;  // Maximum outstanding-prefetch budget.
 
   PrefetchQueue() { Reset(); }
 
@@ -30,10 +30,21 @@ class PrefetchQueue {
     hits_ = 0;
   }
 
+  // Sets the prefetch distance: how many outstanding prefetches are tracked
+  // before the oldest is overwritten. A prefetch issued too far ahead of its
+  // use is evicted by newer ones (distance too large for the access stream);
+  // the adaptive policy tunes this from the observed hit rate. Clamped to
+  // [1, kCapacity]; only meaningful to change between pauses (Reset clears
+  // the ring each pause).
+  void SetWindow(size_t window) {
+    window_ = window < 1 ? 1 : (window > kCapacity ? kCapacity : window);
+  }
+  size_t window() const { return window_; }
+
   // Records a prefetch of the cache line containing `address`.
   void Prefetch(uint64_t address) {
     ring_[next_] = LineOf(address);
-    next_ = (next_ + 1) % kCapacity;
+    next_ = (next_ + 1) % window_;
     ++issued_;
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_prefetch(reinterpret_cast<const void*>(address), 0, 1);
@@ -44,9 +55,9 @@ class PrefetchQueue {
   // by an outstanding prefetch.
   bool Consume(uint64_t address) {
     const uint64_t line = LineOf(address);
-    for (auto& slot : ring_) {
-      if (slot == line) {
-        slot = 0;
+    for (size_t i = 0; i < window_; ++i) {
+      if (ring_[i] == line) {
+        ring_[i] = 0;
         ++hits_;
         return true;
       }
@@ -61,6 +72,7 @@ class PrefetchQueue {
   static uint64_t LineOf(uint64_t address) { return address >> 6; }
 
   uint64_t ring_[kCapacity];
+  size_t window_ = kCapacity;
   size_t next_ = 0;
   uint64_t issued_ = 0;
   uint64_t hits_ = 0;

@@ -65,6 +65,33 @@ size_t DeviceTimeline::SamplePhase(uint64_t pause_id, GcPhaseKind phase, uint64_
   return appended;
 }
 
+DeviceTimeline::PhaseAverages DeviceTimeline::AveragePhase(uint64_t pause_id,
+                                                           GcPhaseKind phase) const {
+  PhaseAverages avg;
+  for (size_t i = samples_.size(); i-- > 0;) {
+    const TimelineSample& s = samples_[i];
+    if (s.pause_id < pause_id) {
+      break;  // Samples are appended in pause order.
+    }
+    if (s.pause_id != pause_id || s.phase != phase) {
+      continue;
+    }
+    avg.read_mbps += s.read_mbps;
+    avg.write_mbps += s.write_mbps;
+    avg.interleave += s.interleave;
+    avg.model_mbps += s.model_mbps;
+    ++avg.sample_count;
+  }
+  if (avg.sample_count > 0) {
+    const double inv = 1.0 / static_cast<double>(avg.sample_count);
+    avg.read_mbps *= inv;
+    avg.write_mbps *= inv;
+    avg.interleave *= inv;
+    avg.model_mbps *= inv;
+  }
+  return avg;
+}
+
 void DeviceTimeline::EmitCounters(GcTracer* tracer, size_t from_index) const {
   if (tracer == nullptr || !tracer->enabled()) {
     return;

@@ -81,6 +81,20 @@ class DeviceTimeline {
   const std::vector<TimelineSample>& samples() const { return samples_; }
   size_t size() const { return samples_.size(); }
 
+  // Mean rates over one phase of one pause, for consumers that want a single
+  // number per phase (the adaptive policy's interleave / effective-bandwidth
+  // signals). Zero-filled when the phase produced no samples.
+  struct PhaseAverages {
+    size_t sample_count = 0;
+    double read_mbps = 0.0;
+    double write_mbps = 0.0;
+    double interleave = 0.0;
+    double model_mbps = 0.0;
+  };
+  // Scans backward from the newest sample, so querying the pause that just
+  // ended is O(samples of that pause).
+  PhaseAverages AveragePhase(uint64_t pause_id, GcPhaseKind phase) const;
+
   // Buckets requested but no longer resident in the ledger ring (sampled too
   // late) — should stay 0 when sampling synchronously at pause end.
   uint64_t missing_buckets() const { return missing_buckets_; }

@@ -1,0 +1,73 @@
+#include "src/policy/policy_signals.h"
+
+namespace nvmgc {
+
+namespace {
+double Ratio(uint64_t num, uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double PolicySignals::steal_rate() const { return Ratio(steals, refs_processed); }
+
+double PolicySignals::flush_stall_fraction() const {
+  return Ratio(writeback_phase_ns, pause_ns);
+}
+
+double PolicySignals::cache_overflow_fraction() const {
+  return Ratio(cache_overflow_bytes, cache_bytes_staged + cache_overflow_bytes);
+}
+
+double PolicySignals::steal_taint_fraction() const {
+  return Ratio(regions_steal_tainted, regions_flushed_sync + regions_flushed_async);
+}
+
+double PolicySignals::hm_overflow_rate() const {
+  return Ratio(hm_overflows, hm_installs + hm_overflows);
+}
+
+double PolicySignals::prefetch_hit_rate() const {
+  return Ratio(prefetch_hits, prefetches_issued);
+}
+
+double PolicySignals::bandwidth_utilization() const {
+  return read_model_mbps <= 0.0 ? 0.0 : read_total_mbps / read_model_mbps;
+}
+
+PolicySignals CollectPolicySignals(const GcCycleStats& cycle, uint64_t pause_id,
+                                   const DeviceTimeline* timeline) {
+  PolicySignals s;
+  s.pause_id = pause_id;
+  s.pause_ns = cycle.pause_ns;
+  s.read_phase_ns = cycle.read_phase_ns;
+  s.writeback_phase_ns = cycle.writeback_phase_ns;
+  s.bytes_copied = cycle.bytes_copied;
+  s.objects_copied = cycle.objects_copied;
+  s.refs_processed = cycle.refs_processed;
+  s.steals = cycle.steals;
+  s.cache_bytes_staged = cycle.cache_bytes_staged;
+  s.cache_overflow_bytes = cycle.cache_overflow_bytes;
+  s.cache_fallback_bytes = cycle.cache_fallback_bytes;
+  s.cache_fallback_workers = cycle.cache_fallback_workers;
+  s.cache_fault_denials = cycle.cache_fault_denials;
+  s.regions_flushed_sync = cycle.regions_flushed_sync;
+  s.regions_flushed_async = cycle.regions_flushed_async;
+  s.regions_steal_tainted = cycle.regions_steal_tainted;
+  s.degraded = cycle.degraded_mode != 0;
+  s.hm_installs = cycle.header_map_installs;
+  s.hm_overflows = cycle.header_map_overflows;
+  s.hm_hits = cycle.header_map_hits;
+  s.prefetches_issued = cycle.prefetches_issued;
+  s.prefetch_hits = cycle.prefetch_hits;
+  if (timeline != nullptr) {
+    const DeviceTimeline::PhaseAverages avg =
+        timeline->AveragePhase(pause_id, GcPhaseKind::kRead);
+    s.read_interleave = avg.interleave;
+    s.read_mbps = avg.read_mbps;
+    s.read_total_mbps = avg.read_mbps + avg.write_mbps;
+    s.read_model_mbps = avg.model_mbps;
+  }
+  return s;
+}
+
+}  // namespace nvmgc

@@ -7,6 +7,22 @@
 
 namespace nvmgc {
 
+namespace {
+
+std::string FormatPolicyValue(PolicyKnob knob, uint64_t value) {
+  switch (knob) {
+    case PolicyKnob::kWriteCacheBytes:
+      return FormatSiBytes(value);
+    case PolicyKnob::kHeaderMapEnabled:
+    case PolicyKnob::kAsyncFlush:
+      return value != 0 ? "on" : "off";
+    default:
+      return std::to_string(value);
+  }
+}
+
+}  // namespace
+
 std::string FormatGcCycle(size_t id, const GcCycleStats& cycle) {
   char line[512];
   std::snprintf(
@@ -139,6 +155,26 @@ void PrintGcSummary(Vm* vm, std::FILE* out) {
                     FormatDouble(s.mean / 1e6, 3)});
     }
     table.Print(out);
+  }
+
+  // Every adaptive-policy decision, with the controller's stated reason.
+  const PolicyEngine* policy = vm->policy();
+  if (policy != nullptr) {
+    std::fprintf(out,
+                 "  policy decisions: %zu over %llu pauses (%llu retreats)\n",
+                 policy->decisions().size(),
+                 static_cast<unsigned long long>(policy->pauses_seen()),
+                 static_cast<unsigned long long>(policy->retreats()));
+    if (!policy->decisions().empty()) {
+      TablePrinter table({"pause", "knob", "from", "to", "reason"});
+      for (const PolicyDecision& d : policy->decisions()) {
+        table.AddRow({std::to_string(d.pause_id),
+                      std::string(d.retreat ? "!" : "") + PolicyKnobName(d.knob),
+                      FormatPolicyValue(d.knob, d.old_value),
+                      FormatPolicyValue(d.knob, d.new_value), d.reason});
+      }
+      table.Print(out);
+    }
   }
 }
 

@@ -31,6 +31,15 @@ Vm::Vm(const VmOptions& options) : options_(options) {
   collector_->set_tracer(tracer_.get());
   timeline_ = std::make_unique<DeviceTimeline>(heap_device_.get());
   collector_->set_timeline(timeline_.get());
+  if (options.gc.adaptive.enabled) {
+    policy_ = std::make_unique<PolicyEngine>(options.gc, heap_->heap_arena_bytes(),
+                                             heap_->cache_arena_bytes(),
+                                             heap_device_->profile());
+    // The engine's initial tuning resolves the 0 "keep" sentinels to concrete
+    // values; install it so the first pause already runs under policy control.
+    collector_->ApplyTuning(policy_->tuning());
+    policy_->ExportMetrics(&metrics_);
+  }
 }
 
 Vm::~Vm() = default;
@@ -96,6 +105,20 @@ GcCycleStats Vm::CollectNow() {
   metrics_.RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
   metrics_.RecordPause(std::move(snap));
   ExportLifetimeMetrics();
+
+  // Feedback step: turn this pause's signals into the next pause's tuning.
+  if (policy_ != nullptr) {
+    const PolicySignals signals =
+        CollectPolicySignals(cycle, collector_->stats().gc_count(), timeline_.get());
+    const size_t made = policy_->OnPauseEnd(signals);
+    metrics_.AddCounter("policy.decisions", made);
+    policy_->ExportMetrics(&metrics_);
+    if (tracer_->enabled()) {
+      tracer_->BindThread(tracer_->control_tid());
+      policy_->EmitTraceCounters(tracer_.get(), clock_.now_ns());
+    }
+    collector_->ApplyTuning(policy_->tuning());
+  }
 
   // Eden was reclaimed: every mutator's TLAB pointer is stale.
   for (auto& mutator : mutators_) {

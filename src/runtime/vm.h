@@ -23,6 +23,7 @@
 #include "src/obs/device_timeline.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/policy/policy_engine.h"
 
 namespace nvmgc {
 
@@ -88,6 +89,11 @@ class Vm {
   // adds a handful of 150 us samples, so the cost is negligible).
   DeviceTimeline& timeline() { return *timeline_; }
   const DeviceTimeline& timeline() const { return *timeline_; }
+  // The adaptive policy engine, or nullptr when options().gc.adaptive.enabled
+  // is false. When present, every CollectNow() feeds it the pause's signals
+  // and applies the retuned GcTuning before the next pause.
+  PolicyEngine* policy() { return policy_.get(); }
+  const PolicyEngine* policy() const { return policy_.get(); }
 
   uint64_t now_ns() const { return clock_.now_ns(); }
   // Application time excluding GC pauses.
@@ -110,6 +116,7 @@ class Vm {
   std::unique_ptr<CopyCollector> collector_;
   std::unique_ptr<GcTracer> tracer_;
   std::unique_ptr<DeviceTimeline> timeline_;
+  std::unique_ptr<PolicyEngine> policy_;
   MetricsRegistry metrics_;
   SimClock clock_;
 

@@ -110,6 +110,117 @@ TEST(GcOptionsValidateTest, RejectsZeroLabBytesForParallelScavenge) {
   EXPECT_TRUE(o.valid());
 }
 
+TEST(GcOptionsValidateTest, AdaptivePresetAndBuilderAreValid) {
+  for (const CollectorKind kind :
+       {CollectorKind::kG1, CollectorKind::kParallelScavenge}) {
+    const GcOptions preset = AdaptiveOptions(kind, 8);
+    EXPECT_TRUE(preset.valid());
+    EXPECT_TRUE(preset.adaptive.enabled);
+    // The preset starts from every optimization plus async flushing, so the
+    // controller has all knobs to tune.
+    EXPECT_TRUE(preset.use_write_cache);
+    EXPECT_TRUE(preset.use_header_map);
+    EXPECT_TRUE(preset.async_flush);
+  }
+  EXPECT_TRUE(GcOptionsBuilder().AdaptivePolicy().Build().adaptive.enabled);
+  EXPECT_FALSE(GcOptionsBuilder().AdaptivePolicy(false).Build().adaptive.enabled);
+}
+
+TEST(GcOptionsValidateTest, AdaptivePolicyOptionsOverload) {
+  AdaptivePolicyOptions a;
+  a.enabled = true;
+  a.warmup_pauses = 3;
+  a.cooldown_pauses = 2;
+  a.step_fraction = 0.25;
+  a.min_gc_threads = 2;
+  a.max_gc_threads = 6;
+  const GcOptions o = GcOptionsBuilder().GcThreads(8).AdaptivePolicy(a).Build();
+  EXPECT_EQ(o.adaptive.warmup_pauses, 3u);
+  EXPECT_EQ(o.adaptive.cooldown_pauses, 2u);
+  EXPECT_DOUBLE_EQ(o.adaptive.step_fraction, 0.25);
+  EXPECT_EQ(o.adaptive.min_gc_threads, 2u);
+  EXPECT_EQ(o.adaptive.max_gc_threads, 6u);
+}
+
+TEST(GcOptionsValidateTest, RejectsBadAdaptiveStepFraction) {
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    GcOptions o;
+    o.adaptive.enabled = true;
+    o.adaptive.step_fraction = bad;
+    ExpectError(o, "adaptive.step_fraction", "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsBadAdaptiveThreadClamps) {
+  {
+    GcOptions o;
+    o.adaptive.enabled = true;
+    o.adaptive.min_gc_threads = 0;
+    ExpectError(o, "adaptive.min_gc_threads", "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+  {
+    GcOptions o;
+    o.gc_threads = 4;
+    o.adaptive.enabled = true;
+    o.adaptive.min_gc_threads = 5;
+    ExpectError(o, "adaptive.min_gc_threads exceeds gc_threads",
+                "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+  {
+    GcOptions o;
+    o.gc_threads = 4;
+    o.adaptive.enabled = true;
+    o.adaptive.max_gc_threads = 5;
+    ExpectError(o, "adaptive.max_gc_threads exceeds gc_threads",
+                "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+  {
+    GcOptions o;
+    o.gc_threads = 8;
+    o.adaptive.enabled = true;
+    o.adaptive.min_gc_threads = 4;
+    o.adaptive.max_gc_threads = 2;
+    ExpectError(o, "adaptive.max_gc_threads is below adaptive.min_gc_threads",
+                "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsBadAdaptiveCacheClamps) {
+  {
+    GcOptions o;
+    o.adaptive.enabled = true;
+    o.adaptive.min_write_cache_bytes = 0;
+    ExpectError(o, "adaptive.min_write_cache_bytes",
+                "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+  {
+    GcOptions o;
+    o.adaptive.enabled = true;
+    o.adaptive.min_write_cache_bytes = 2 << 20;
+    o.adaptive.max_write_cache_bytes = 1 << 20;
+    ExpectError(o, "adaptive.min_write_cache_bytes exceeds adaptive.max_write_cache_bytes",
+                "AdaptivePolicy(AdaptivePolicyOptions)");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsAdaptiveWithUnlimitedWriteCache) {
+  GcOptions o = AllOptimizationsOptions(CollectorKind::kG1, 8);
+  o.unlimited_write_cache = true;
+  o.write_cache_bytes = 0;
+  o.adaptive.enabled = true;
+  ExpectError(o, "adaptive.enabled contradicts unlimited_write_cache",
+              "UnlimitedWriteCache()");
+}
+
+TEST(GcOptionsValidateTest, DisabledAdaptiveSkipsItsValidation) {
+  // The sub-struct is only checked when the engine is on.
+  GcOptions o;
+  o.adaptive.enabled = false;
+  o.adaptive.step_fraction = 99.0;
+  o.adaptive.min_gc_threads = 0;
+  EXPECT_TRUE(o.valid());
+}
+
 TEST(GcOptionsBuilderTest, ChainsSetEveryField) {
   const GcOptions o = GcOptionsBuilder()
                           .Collector(CollectorKind::kParallelScavenge)

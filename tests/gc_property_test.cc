@@ -13,7 +13,7 @@ namespace nvmgc {
 namespace {
 
 VmOptions SweepVm(CollectorKind collector, uint32_t threads, bool write_cache, bool header_map,
-                  bool async) {
+                  bool async, bool adaptive = false) {
   VmOptions o;
   o.heap.region_bytes = 64 * 1024;
   o.heap.heap_regions = 512;
@@ -27,6 +27,7 @@ VmOptions SweepVm(CollectorKind collector, uint32_t threads, bool write_cache, b
   o.gc.header_map_min_threads = 1;
   o.gc.use_non_temporal = write_cache;
   o.gc.async_flush = async;
+  o.gc.adaptive.enabled = adaptive;
   return o;
 }
 
@@ -36,15 +37,15 @@ WorkloadProfile SweepProfile() {
   return p;
 }
 
-// (collector, threads, write_cache, header_map, async)
-using SweepParam = std::tuple<CollectorKind, uint32_t, bool, bool, bool>;
+// (collector, threads, write_cache, header_map, async, adaptive)
+using SweepParam = std::tuple<CollectorKind, uint32_t, bool, bool, bool, bool>;
 
 class GcSweepTest : public ::testing::TestWithParam<SweepParam> {};
 
 // Invariant 1: the set of surviving objects is configuration-independent —
 // every configuration must copy exactly the same live data.
 TEST_P(GcSweepTest, LiveDataIndependentOfConfiguration) {
-  const auto [collector, threads, wc, hm, async] = GetParam();
+  const auto [collector, threads, wc, hm, async, adaptive] = GetParam();
   // Reference run: single-threaded vanilla G1.
   WorkloadProfile profile = SweepProfile();
   uint64_t reference_objects = 0;
@@ -55,7 +56,7 @@ TEST_P(GcSweepTest, LiveDataIndependentOfConfiguration) {
     app.Run();
     reference_objects = vm.gc_stats().Totals().objects_copied;
   }
-  VmOptions o = SweepVm(collector, threads, wc, hm, async);
+  VmOptions o = SweepVm(collector, threads, wc, hm, async, adaptive);
   Vm vm(o);
   SyntheticApp app(&vm, profile);
   app.Run();
@@ -65,8 +66,8 @@ TEST_P(GcSweepTest, LiveDataIndependentOfConfiguration) {
 // Invariant 2: after every run the heap verifies — reachability, region
 // parsability, remembered-set completeness.
 TEST_P(GcSweepTest, HeapVerifiesAfterRun) {
-  const auto [collector, threads, wc, hm, async] = GetParam();
-  VmOptions o = SweepVm(collector, threads, wc, hm, async);
+  const auto [collector, threads, wc, hm, async, adaptive] = GetParam();
+  VmOptions o = SweepVm(collector, threads, wc, hm, async, adaptive);
   Vm vm(o);
   SyntheticApp app(&vm, SweepProfile());
   app.Run();
@@ -80,8 +81,8 @@ TEST_P(GcSweepTest, HeapVerifiesAfterRun) {
 // Invariant 3: no write-cache staging region leaks past a pause, and no
 // region is left flush-claimed but unflushed.
 TEST_P(GcSweepTest, NoStagingRegionLeaks) {
-  const auto [collector, threads, wc, hm, async] = GetParam();
-  VmOptions o = SweepVm(collector, threads, wc, hm, async);
+  const auto [collector, threads, wc, hm, async, adaptive] = GetParam();
+  VmOptions o = SweepVm(collector, threads, wc, hm, async, adaptive);
   Vm vm(o);
   SyntheticApp app(&vm, SweepProfile());
   app.Run();
@@ -104,20 +105,29 @@ std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
   if (std::get<4>(info.param)) {
     name += "_async";
   }
+  if (std::get<5>(info.param)) {
+    name += "_adaptive";
+  }
   return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ConfigSpace, GcSweepTest,
-    ::testing::Values(SweepParam{CollectorKind::kG1, 1, false, false, false},
-                      SweepParam{CollectorKind::kG1, 4, false, false, false},
-                      SweepParam{CollectorKind::kG1, 4, true, false, false},
-                      SweepParam{CollectorKind::kG1, 4, true, true, false},
-                      SweepParam{CollectorKind::kG1, 4, true, true, true},
-                      SweepParam{CollectorKind::kG1, 13, true, true, true},
-                      SweepParam{CollectorKind::kParallelScavenge, 4, false, false, false},
-                      SweepParam{CollectorKind::kParallelScavenge, 4, true, true, false},
-                      SweepParam{CollectorKind::kParallelScavenge, 7, true, true, true}),
+    ::testing::Values(SweepParam{CollectorKind::kG1, 1, false, false, false, false},
+                      SweepParam{CollectorKind::kG1, 4, false, false, false, false},
+                      SweepParam{CollectorKind::kG1, 4, true, false, false, false},
+                      SweepParam{CollectorKind::kG1, 4, true, true, false, false},
+                      SweepParam{CollectorKind::kG1, 4, true, true, true, false},
+                      SweepParam{CollectorKind::kG1, 13, true, true, true, false},
+                      SweepParam{CollectorKind::kParallelScavenge, 4, false, false, false, false},
+                      SweepParam{CollectorKind::kParallelScavenge, 4, true, true, false, false},
+                      SweepParam{CollectorKind::kParallelScavenge, 7, true, true, true, false},
+                      // Policy engine on: the same invariants must hold while
+                      // the controller retunes the knobs between pauses.
+                      SweepParam{CollectorKind::kG1, 1, true, true, false, true},
+                      SweepParam{CollectorKind::kG1, 4, true, true, true, true},
+                      SweepParam{CollectorKind::kG1, 13, true, true, true, true},
+                      SweepParam{CollectorKind::kParallelScavenge, 4, true, true, true, true}),
     SweepName);
 
 // Invariant 4: the write cache reduces the share of NVM writes that happen
