@@ -22,12 +22,23 @@ need an absolute move beyond --floor-ns (default 2 ms) to fail, and
 gc_bandwidth_mbps is not gated at all when the baseline's gc_ns measurement
 window is below that floor.
 
-Exit code 0 when every metric is within tolerance, 1 otherwise.
+Exit code 0 when every metric of every gated pair is within tolerance, 1
+otherwise.
 
 Usage:
-  bench_gate.py BASELINE.json CANDIDATE.json
+  bench_gate.py BASELINE.json CANDIDATE.json        single pair (classic form)
+  bench_gate.py --baseline BASELINE.json=CANDIDATE.json ...
+                                              repeatable: gate several
+                                              baseline/candidate pairs in one
+                                              invocation; each pair is checked
+                                              independently (every baseline
+                                              label must be present in its own
+                                              candidate) and a failure in any
+                                              pair fails the run
+  common flags:
                 [--tolerance NAME=PCT]...   override one metric's tolerance
-                [--inject-regression PCT]   self-test: inflate the candidate's
+                                            (applies to every pair)
+                [--inject-regression PCT]   self-test: inflate the candidates'
                                             time metrics by PCT before gating
 """
 
@@ -96,31 +107,15 @@ def check_metric(metric, base, cand, tol_pct, floor_ns):
     return regression <= tol_pct, regression
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
-    ap.add_argument("--tolerance", action="append", default=[], metavar="NAME=PCT",
-                    help="override one metric's tolerance, e.g. gc_ns=30")
-    ap.add_argument("--floor-ns", type=float, default=2_000_000.0, metavar="NS",
-                    help="absolute noise floor: a time metric must also move "
-                         "by more than NS to fail, and gc_bandwidth_mbps is "
-                         "ungated when the baseline gc_ns window is below NS "
-                         "(default: 2ms)")
-    ap.add_argument("--inject-regression", type=float, default=None, metavar="PCT",
-                    help="self-test: inflate candidate time metrics by PCT "
-                         "before gating (the gate must then fail)")
-    args = ap.parse_args()
-
-    tolerances = parse_tolerances(args.tolerance)
-    base_doc = load(args.baseline)
-    cand_doc = load(args.candidate)
+def gate_pair(baseline_path, candidate_path, tolerances, floor_ns, inject_pct):
+    """Gates one baseline/candidate pair. Returns True when it passes."""
+    base_doc = load(baseline_path)
+    cand_doc = load(candidate_path)
     base = {r["label"]: r["result"] for r in base_doc["runs"]}
     cand = {r["label"]: r["result"] for r in cand_doc["runs"]}
 
-    if args.inject_regression is not None:
-        factor = 1.0 + args.inject_regression / 100.0
+    if inject_pct is not None:
+        factor = 1.0 + inject_pct / 100.0
         for result in cand.values():
             for metric in LOWER_IS_BETTER:
                 result[metric] = result[metric] * factor
@@ -130,7 +125,7 @@ def main():
         print(f"bench_gate: FAIL: {len(missing)} baseline run(s) absent from "
               f"candidate: {', '.join(missing[:5])}"
               + (" ..." if len(missing) > 5 else ""))
-        return 1
+        return False
     extra = sorted(set(cand) - set(base))
     if extra:
         print(f"bench_gate: note: {len(extra)} candidate run(s) not in baseline "
@@ -146,10 +141,10 @@ def main():
                 failures.append((label, metric, "metric missing from result"))
                 continue
             if (metric == "gc_bandwidth_mbps"
-                    and base[label].get("gc_ns", 0) < args.floor_ns):
+                    and base[label].get("gc_ns", 0) < floor_ns):
                 skipped_bandwidth += 1
                 continue
-            ok, regression = check_metric(metric, b, c, tol_pct, args.floor_ns)
+            ok, regression = check_metric(metric, b, c, tol_pct, floor_ns)
             worst[metric] = max(worst.get(metric, 0.0), regression)
             if not ok:
                 failures.append(
@@ -160,7 +155,7 @@ def main():
     print(f"bench_gate: {base_doc['bench']}: {len(base)} gated run(s)")
     if skipped_bandwidth:
         print(f"  gc_bandwidth_mbps ungated for {skipped_bandwidth} run(s) with "
-              f"baseline gc_ns < {args.floor_ns:.0f} ns")
+              f"baseline gc_ns < {floor_ns:.0f} ns")
     for metric in sorted(worst):
         print(f"  {metric:<18} worst regression {worst[metric]:6.1f}% "
               f"(tolerance {tolerances[metric]:.1f}%)")
@@ -170,9 +165,60 @@ def main():
             print(f"  {label}: {metric}: {detail}")
         if len(failures) > 20:
             print(f"  ... {len(failures) - 20} more")
-        return 1
+        return False
     print("\nbench_gate: OK: all metrics within tolerance")
-    return 0
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", nargs="?",
+                    help="baseline JSON (classic two-positional form)")
+    ap.add_argument("candidate", nargs="?",
+                    help="candidate JSON (classic two-positional form)")
+    ap.add_argument("--baseline", action="append", default=[], dest="pairs",
+                    metavar="BASELINE=CANDIDATE",
+                    help="repeatable baseline/candidate pair; each pair is "
+                         "gated independently in one invocation")
+    ap.add_argument("--tolerance", action="append", default=[], metavar="NAME=PCT",
+                    help="override one metric's tolerance, e.g. gc_ns=30")
+    ap.add_argument("--floor-ns", type=float, default=2_000_000.0, metavar="NS",
+                    help="absolute noise floor: a time metric must also move "
+                         "by more than NS to fail, and gc_bandwidth_mbps is "
+                         "ungated when the baseline gc_ns window is below NS "
+                         "(default: 2ms)")
+    ap.add_argument("--inject-regression", type=float, default=None, metavar="PCT",
+                    help="self-test: inflate candidate time metrics by PCT "
+                         "before gating (the gate must then fail)")
+    args = ap.parse_args()
+
+    pairs = []
+    for item in args.pairs:
+        baseline, sep, candidate = item.partition("=")
+        if not sep or not baseline or not candidate:
+            sys.exit(f"bench_gate: bad --baseline value {item!r} "
+                     "(expected BASELINE=CANDIDATE)")
+        pairs.append((baseline, candidate))
+    if args.baseline is not None:
+        if args.candidate is None:
+            sys.exit("bench_gate: positional BASELINE needs a CANDIDATE")
+        pairs.append((args.baseline, args.candidate))
+    if not pairs:
+        sys.exit("bench_gate: nothing to gate: pass BASELINE CANDIDATE or "
+                 "--baseline BASELINE=CANDIDATE")
+
+    tolerances = parse_tolerances(args.tolerance)
+    failed = 0
+    for i, (baseline, candidate) in enumerate(pairs):
+        if i:
+            print()
+        if not gate_pair(baseline, candidate, tolerances, args.floor_ns,
+                         args.inject_regression):
+            failed += 1
+    if len(pairs) > 1:
+        print(f"\nbench_gate: {len(pairs) - failed}/{len(pairs)} pair(s) passed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

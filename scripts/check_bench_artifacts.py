@@ -10,7 +10,7 @@ bench; exits nonzero with a message on the first violation.
 
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
        [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
-       [--require-timeline] [--require-policy-tracks]
+       [--require-timeline] [--require-policy-tracks] [--require-persist-tracks]
 """
 
 import argparse
@@ -34,6 +34,9 @@ COUNTER_TRACKS = {"nvm.read_mbps", "nvm.write_mbps", "nvm.interleave"}
 POLICY_TRACKS = {"policy.active_threads", "policy.write_cache_mb",
                  "policy.header_map_entries", "policy.async_flush",
                  "policy.prefetch_window", "policy.decisions_total"}
+# Counter tracks durability mode emits once per pause
+# (see src/gc/copy_collector.cc PersistEpilogue + the pause tracer block).
+PERSIST_TRACKS = {"persist.flush_lines", "persist.fences", "persist.phase_ns"}
 
 
 def fail(msg):
@@ -142,7 +145,8 @@ def check_json(path, require_pauses, require_timeline):
     return doc
 
 
-def check_trace(path, require_spans, require_counter_tracks, require_policy_tracks):
+def check_trace(path, require_spans, require_counter_tracks, require_policy_tracks,
+                require_persist_tracks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -182,6 +186,11 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
         if missing:
             fail(f"{path}: expected policy counter tracks absent: {sorted(missing)} "
                  "(was an adaptive configuration traced?)")
+    if require_persist_tracks:
+        missing = PERSIST_TRACKS - counter_names
+        if missing:
+            fail(f"{path}: expected persist counter tracks absent: {sorted(missing)} "
+                 "(was a durable configuration traced?)")
     print(f"check_bench_artifacts: {path}: OK ({len(events)} events, "
           f"{len(names)} span names, {len(counter_names)} counter tracks)")
 
@@ -202,11 +211,14 @@ def main():
     ap.add_argument("--require-policy-tracks", action="store_true",
                     help="fail when the trace lacks the policy.* counter tracks "
                          "of the adaptive engine")
+    ap.add_argument("--require-persist-tracks", action="store_true",
+                    help="fail when the trace lacks the persist.* counter tracks "
+                         "of durability mode")
     args = ap.parse_args()
     check_json(args.json, args.require_pauses, args.require_timeline)
     if args.trace:
         check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks,
-                    args.require_policy_tracks)
+                    args.require_policy_tracks, args.require_persist_tracks)
     return 0
 
 

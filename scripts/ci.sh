@@ -18,7 +18,14 @@
 #   - nvmgc_bench_adaptive_smoke / _artifacts_check / _gate: the adaptive
 #     policy engine's phase-shifting bench (which enforces its own acceptance
 #     criteria), its policy.* counter tracks, and its regression baseline
-#     (BENCH_baseline_adaptive.json).
+#     (BENCH_baseline_adaptive.json);
+#   - nvmgc_crash_recovery: the durability acceptance sweep — 200 seeded
+#     power-cut points over a multi-cycle durable run, each either recovering
+#     a verified heap or classifying the torn state;
+#   - nvmgc_bench_durability_smoke / _artifacts_check / _gate: durable vs
+#     non-durable pause cost (the bench enforces zero persist work with
+#     durability off), the persist.* counter tracks, and the durability
+#     regression baseline (BENCH_baseline_durability.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,9 +39,11 @@ for preset in default sanitize; do
   ctest --preset "${preset}" -j "$(nproc)"
 done
 
-echo "=== bench regression gate (default build artifacts) ==="
-python3 scripts/bench_gate.py BENCH_baseline.json build/artifacts/smoke.json
-python3 scripts/bench_gate.py BENCH_baseline_adaptive.json build/artifacts/adaptive.json
+echo "=== bench regression gates (default build artifacts) ==="
+python3 scripts/bench_gate.py \
+  --baseline BENCH_baseline.json=build/artifacts/smoke.json \
+  --baseline BENCH_baseline_adaptive.json=build/artifacts/adaptive.json \
+  --baseline BENCH_baseline_durability.json=build/artifacts/durability.json
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

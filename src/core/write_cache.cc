@@ -136,7 +136,7 @@ void WriteCache::MaybeAsyncFlush(Region* twin, SimClock* clock, GcCycleStats* st
 }
 
 void WriteCache::FlushRemaining(uint32_t worker, uint32_t total_workers, SimClock* clock,
-                                GcCycleStats* stats) {
+                                GcCycleStats* stats, PersistBatch* batch) {
   size_t count = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -156,12 +156,13 @@ void WriteCache::FlushRemaining(uint32_t worker, uint32_t total_workers, SimCloc
       stats->regions_steal_tainted += 1;
     }
     if (cache->ClaimFlush()) {
-      FlushPair(twin, clock, stats, /*async=*/false);
+      FlushPair(twin, clock, stats, /*async=*/false, batch);
     }
   }
 }
 
-void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async) {
+void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async,
+                           PersistBatch* batch) {
   // Emitted on the flushing worker's timeline: async flushes appear inside
   // the read phase, sync flushes inside the write-back phase.
   TraceSpan span(tracer_, clock, async ? "cache.flush.async" : "cache.flush.sync", "cache");
@@ -177,6 +178,23 @@ void WriteCache::FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, b
     heap_->heap_device()->Access(clock, write);
     std::memcpy(reinterpret_cast<void*>(twin->bottom()),
                 reinterpret_cast<const void*>(cache->bottom()), used);
+  }
+  PersistOrderingLedger* ledger = &heap_->heap_device()->persist();
+  if (ledger->enabled() && used > 0) {
+    if (batch != nullptr) {
+      // Sync write-back: each drained run is flushed into the worker's batch;
+      // the collector fences once at the batch boundary.
+      batch->FlushRange(twin->bottom(), used, clock);
+    } else {
+      // Async flush: fence immediately so the region is durable the moment it
+      // lands (the flushing worker issues its own SFENCE).
+      PersistBatch local(ledger);
+      local.FlushRange(twin->bottom(), used, clock);
+      local.Fence(clock);
+      stats->persist_flush_lines += local.flush_lines();
+      stats->persist_fences += local.fences();
+      stats->persist_ns += local.persist_ns();
+    }
   }
   twin->set_top(twin->bottom() + used);
   twin->set_flushed(true);

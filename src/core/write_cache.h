@@ -27,6 +27,7 @@
 #include "src/gc/gc_options.h"
 #include "src/gc/gc_stats.h"
 #include "src/heap/heap.h"
+#include "src/nvm/persist_ledger.h"
 #include "src/nvm/sim_clock.h"
 
 namespace nvmgc {
@@ -79,9 +80,12 @@ class WriteCache {
 
   // Synchronous write-back of every still-unflushed pair; workers call this
   // concurrently and split the list by striding (worker, total_workers), so
-  // the per-worker simulated cost is host-scheduling independent.
+  // the per-worker simulated cost is host-scheduling independent. In
+  // durability mode the caller passes its per-worker PersistBatch: each
+  // drained run is flushed into the batch and the caller fences once at the
+  // batch boundary (one SFENCE per worker per write-back phase).
   void FlushRemaining(uint32_t worker, uint32_t total_workers, SimClock* clock,
-                      GcCycleStats* stats);
+                      GcCycleStats* stats, PersistBatch* batch = nullptr);
 
   // End-of-pause bookkeeping; returns twins created this pause (survivors).
   std::vector<Region*> TakePauseTwins();
@@ -125,8 +129,11 @@ class WriteCache {
   void ClosePair(WriteCacheWorkerState* state, SimClock* clock, GcCycleStats* stats);
 
   // Performs the actual write-back of one pair. Caller must have won the
-  // flush claim.
-  void FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async);
+  // flush claim. `batch` collects the persist flushes in durability mode
+  // (sync path); async flushes fence their own batch immediately so the
+  // region is durable as soon as it lands.
+  void FlushPair(Region* twin, SimClock* clock, GcCycleStats* stats, bool async,
+                 PersistBatch* batch = nullptr);
 
   Heap* heap_;
   GcTracer* tracer_ = nullptr;

@@ -41,6 +41,12 @@ CopyCollector::CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool*
     header_map_ = std::make_unique<HeaderMap>(bytes, options_.header_map_search_bound,
                                               heap_->dram_device());
   }
+  if (options_.durability.enabled) {
+    commit_layout_ = ComputeCommitLayout(heap_->config(), options_.durability);
+    NVMGC_CHECK_MSG(heap_->commit_area_bytes() >= commit_layout_.total_bytes(),
+                    "durability enabled but the heap's commit area is too small: the Vm "
+                    "must size HeapConfig::commit_area_bytes from ComputeCommitLayout");
+  }
 }
 
 bool CopyCollector::StageableThroughCache(size_t) const { return true; }
@@ -206,7 +212,15 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
         // Close this worker's open pair so the shared flush pass picks it up.
         w.cache_state.cache_region = nullptr;
         w.cache_state.twin_region = nullptr;
-        write_cache_->FlushRemaining(id, n, &w.clock, &w.local);
+        // Durability: each drained run is CLWB'd into this worker's batch and
+        // one SFENCE at the batch boundary makes the whole write-back
+        // durable (no-ops when the persistence ledger is unconfigured).
+        PersistBatch batch(&heap_->heap_device()->persist());
+        write_cache_->FlushRemaining(id, n, &w.clock, &w.local, &batch);
+        batch.Fence(&w.clock);
+        w.local.persist_flush_lines += batch.flush_lines();
+        w.local.persist_fences += batch.fences();
+        w.local.persist_ns += batch.persist_ns();
         w.clock.Advance(kFenceNs);  // Single ordering fence before GC ends.
       }
       if (HeaderMapActive()) {
@@ -230,6 +244,13 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     heap_->FreeRegion(r);
   }
 
+  // Durability: seal this pause's commit record (flush new live regions,
+  // redo-log in-place updates, durable-last seal, release the quarantine).
+  GcCycleStats persist_stats;
+  if (options_.durability.enabled) {
+    PersistEpilogue(roots, &pause_end, &persist_stats);
+  }
+
   // --- Assemble cycle statistics. ---
   GcCycleStats cycle;
   for (uint32_t i = 0; i < n; ++i) {
@@ -251,7 +272,15 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     cycle.cache_fallback_bytes += l.cache_fallback_bytes;
     cycle.prefetches_issued += l.prefetches_issued;
     cycle.prefetch_hits += w.prefetch.hits();
+    cycle.persist_flush_lines += l.persist_flush_lines;
+    cycle.persist_fences += l.persist_fences;
+    cycle.persist_ns += l.persist_ns;
   }
+  cycle.persist_flush_lines += persist_stats.persist_flush_lines;
+  cycle.persist_fences += persist_stats.persist_fences;
+  cycle.persist_ns += persist_stats.persist_ns;
+  cycle.persist_redo_entries = persist_stats.persist_redo_entries;
+  cycle.persist_commit_bytes = persist_stats.persist_commit_bytes;
   cycle.degraded_mode = degraded ? 1 : 0;
   if (header_map_ != nullptr) {
     // Header-map counters are monotonic; report per-cycle deltas.
@@ -292,6 +321,15 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
       tracer_->EmitInstant("gc.degraded", "gc", t0);
     }
     tracer_->Emit("gc.pause", "gc", t0, pause_end);
+    if (options_.durability.enabled) {
+      // Per-pause persist cost counter tracks (Perfetto; see EXPERIMENTS.md).
+      tracer_->EmitCounter("persist.flush_lines", "persist", pause_end,
+                           static_cast<double>(cycle.persist_flush_lines));
+      tracer_->EmitCounter("persist.fences", "persist", pause_end,
+                           static_cast<double>(cycle.persist_fences));
+      tracer_->EmitCounter("persist.phase_ns", "persist", pause_end,
+                           static_cast<double>(cycle.persist_ns));
+    }
     if (timeline_ != nullptr) {
       timeline_->EmitCounters(tracer_, timeline_from);
     }
@@ -569,6 +607,164 @@ void CopyCollector::TaintRegionOfSlot(Address slot) {
   if (region != nullptr && region->type() == RegionType::kWriteCache) {
     region->set_steal_tainted(true);
   }
+}
+
+void CopyCollector::PersistEpilogue(const std::vector<Address*>& roots, uint64_t* pause_end,
+                                    GcCycleStats* cycle) {
+  MemoryDevice* dev = heap_->heap_device();
+  PersistOrderingLedger* ledger = &dev->persist();
+  NVMGC_CHECK_MSG(ledger->enabled(),
+                  "durability enabled but the persistence ledger is unconfigured — the Vm "
+                  "must Configure() the heap device's ledger before the first pause");
+  SimClock ctl;
+  ctl.SetTime(*pause_end);
+  PersistBatch batch(ledger);
+
+  // Every region the commit must cover: tenured content in the heap arena.
+  // Eden and prior survivors were all in the collection set and are already
+  // freed, so "live" here is exactly survivor/old/humongous.
+  std::vector<Region*> live;
+  heap_->ForEachRegion([&](Region* r) {
+    if (!heap_->InHeapArena(r->bottom())) {
+      return;  // DRAM cache regions are staging only, never durable.
+    }
+    const RegionType t = r->type();
+    if (t == RegionType::kSurvivor || t == RegionType::kOld || t == RegionType::kHumongous) {
+      live.push_back(r);
+    }
+  });
+
+  // 1. New regions (not in the previous sealed commit): their content is
+  // invisible to a rollback, so flush in place and fence. Regions already
+  // fenced by the write-back (or async flushing) have no dirty lines left and
+  // cost nothing here.
+  for (Region* r : live) {
+    if (!r->durable_committed() && r->used() > 0) {
+      batch.FlushRange(r->bottom(), r->used(), &ctl);
+    }
+  }
+
+  // 2. In-place updates to previously committed regions (remembered-set slot
+  // rewrites during this pause, mutator writes to old objects since the last
+  // pause) go through a content redo log instead of an in-place flush: a
+  // crash before this pause's seal must still roll back to the previous
+  // epoch's in-place content, a crash after it replays the log.
+  const Address area = heap_->commit_area_base();
+  std::vector<uint64_t> redo_offsets;
+  for (Region* r : live) {
+    if (r->durable_committed() && r->used() > 0) {
+      ledger->CollectDirtyLines(r->bottom(), r->used(), &redo_offsets);
+    }
+  }
+  const size_t redo_bytes = redo_offsets.size() * sizeof(RedoEntry);
+  NVMGC_CHECK_MSG(redo_bytes <= commit_layout_.redo_slot_bytes,
+                  "durability redo log overflow: raise DurabilityOptions::redo_log_bytes");
+  std::vector<RedoEntry> redo(redo_offsets.size());
+  const Address redo_base = area + commit_layout_.redo_offset(gc_epoch_);
+  if (!redo.empty()) {
+    for (size_t i = 0; i < redo_offsets.size(); ++i) {
+      redo[i].arena_offset = redo_offsets[i];
+      std::memcpy(redo[i].content,
+                  reinterpret_cast<const void*>(heap_->heap_base() + redo_offsets[i]),
+                  sizeof(redo[i].content));
+    }
+    dev->Access(&ctl, SequentialWrite(redo_base, static_cast<uint32_t>(redo_bytes)));
+    std::memcpy(reinterpret_cast<void*>(redo_base), redo.data(), redo_bytes);
+    batch.FlushRange(redo_base, redo_bytes, &ctl);
+  }
+  batch.Fence(&ctl);  // New-region content + redo log durable before any seal write.
+  const uint64_t redo_checksum =
+      Fnv1a(reinterpret_cast<const uint8_t*>(redo.data()), redo_bytes);
+
+  // 3. Commit record, sealed durable-last. The slot alternates by epoch
+  // parity, so the previous epoch's sealed record is never touched and one of
+  // the two slots is always intact.
+  const Address record_base = area + commit_layout_.record_offset(gc_epoch_);
+  const Address seal_addr = area + commit_layout_.seal_offset(gc_epoch_);
+
+  // 3a. Clear the stale seal (this slot last held epoch-2's commit) so a torn
+  // payload below can never pair with a valid-looking seal.
+  uint64_t seal_word = 0;
+  dev->Access(&ctl, RandomWrite(seal_addr, sizeof(seal_word)));
+  std::memcpy(reinterpret_cast<void*>(seal_addr), &seal_word, sizeof(seal_word));
+  batch.FlushRange(seal_addr, sizeof(seal_word), &ctl);
+  batch.Fence(&ctl);
+
+  // 3b. Payload: header + region table + root offsets (checksummed).
+  std::vector<CommitRegionEntry> entries;
+  entries.reserve(live.size());
+  for (Region* r : live) {
+    CommitRegionEntry e;
+    e.index = r->index();
+    e.type = static_cast<uint32_t>(r->type());
+    e.used_bytes = r->used();
+    e.gc_epoch = r->gc_epoch();
+    entries.push_back(e);
+  }
+  std::vector<uint64_t> root_offsets;
+  root_offsets.reserve(roots.size());
+  for (Address* root : roots) {
+    const Address v = *root;
+    root_offsets.push_back(heap_->InHeapArena(v) ? v - heap_->heap_base() : kNullRootOffset);
+  }
+  const size_t payload_bytes = sizeof(CommitHeader) +
+                               entries.size() * sizeof(CommitRegionEntry) +
+                               root_offsets.size() * sizeof(uint64_t);
+  NVMGC_CHECK_MSG(payload_bytes + sizeof(uint64_t) <= commit_layout_.record_slot_bytes,
+                  "durability commit record overflow: raise DurabilityOptions::commit_record_bytes");
+  std::vector<uint8_t> payload(payload_bytes);
+  uint8_t* cursor = payload.data() + sizeof(CommitHeader);
+  std::memcpy(cursor, entries.data(), entries.size() * sizeof(CommitRegionEntry));
+  cursor += entries.size() * sizeof(CommitRegionEntry);
+  std::memcpy(cursor, root_offsets.data(), root_offsets.size() * sizeof(uint64_t));
+  CommitHeader header;
+  header.magic = kCommitMagic;
+  header.epoch = gc_epoch_;
+  header.commit_ns = ctl.now_ns();
+  header.region_count = entries.size();
+  header.root_count = root_offsets.size();
+  header.redo_entry_count = redo.size();
+  header.redo_checksum = redo_checksum;
+  header.payload_checksum = Fnv1a(payload.data() + sizeof(CommitHeader),
+                                  payload_bytes - sizeof(CommitHeader));
+  std::memcpy(payload.data(), &header, sizeof(CommitHeader));
+  dev->Access(&ctl, SequentialWrite(record_base, static_cast<uint32_t>(payload_bytes)));
+  std::memcpy(reinterpret_cast<void*>(record_base), payload.data(), payload_bytes);
+  batch.FlushRange(record_base, payload_bytes, &ctl);
+  batch.Fence(&ctl);
+
+  // 3c. The seal: one 8-byte durable write. Once this fence completes, the
+  // commit is the recovery point.
+  seal_word = SealValue(gc_epoch_);
+  dev->Access(&ctl, RandomWrite(seal_addr, sizeof(seal_word)));
+  std::memcpy(reinterpret_cast<void*>(seal_addr), &seal_word, sizeof(seal_word));
+  batch.FlushRange(seal_addr, sizeof(seal_word), &ctl);
+  batch.Fence(&ctl);
+  commit_instants_.push_back(ctl.now_ns());
+
+  // 4. The sealed commit supersedes the previous epoch, so the redo-logged
+  // lines may now advance in place.
+  for (Region* r : live) {
+    if (r->durable_committed() && r->used() > 0) {
+      batch.FlushRange(r->bottom(), r->used(), &ctl);
+    }
+  }
+  batch.Fence(&ctl);
+
+  // 5. Everything live is covered by the new seal: future in-place updates go
+  // through the redo log, and regions freed while listed in the *previous*
+  // commit (quarantined by Heap::FreeRegion) are safe to reuse.
+  for (Region* r : live) {
+    r->set_durable_committed(true);
+  }
+  heap_->ReleaseQuarantinedRegions();
+
+  cycle->persist_flush_lines += batch.flush_lines();
+  cycle->persist_fences += batch.fences();
+  cycle->persist_ns += batch.persist_ns();
+  cycle->persist_redo_entries += redo.size();
+  cycle->persist_commit_bytes += payload_bytes;
+  *pause_end = ctl.now_ns();
 }
 
 }  // namespace nvmgc

@@ -36,6 +36,7 @@
 #include "src/nvm/sim_clock.h"
 #include "src/obs/device_timeline.h"
 #include "src/obs/trace.h"
+#include "src/recovery/commit_record.h"
 
 namespace nvmgc {
 
@@ -79,6 +80,11 @@ class CopyCollector {
   void set_timeline(DeviceTimeline* timeline) { timeline_ = timeline; }
   DeviceTimeline* timeline() { return timeline_; }
 
+  // Durability mode: the simulated instants at which each pause's commit
+  // record sealed (the seal fence completed). Crash sweeps use this to
+  // predict which epoch recovery must land on for a given power-cut instant.
+  const std::vector<uint64_t>& commit_instants() const { return commit_instants_; }
+
  protected:
   // Policy hook: may this object be staged through the write cache? PS copies
   // objects larger than a LAB fraction outside its buffers, which the cache
@@ -111,6 +117,13 @@ class CopyCollector {
   bool HeaderMapActive() const;
   MemoryDevice* DeviceForAddress(Address a);
 
+  // Durability-mode pause epilogue (control thread, after cset reclaim):
+  // flushes new live regions, writes the in-place-update redo log, seals the
+  // commit record durable-last, and releases the region quarantine. Advances
+  // *pause_end by the persist cost and fills the cycle's persist_* fields.
+  void PersistEpilogue(const std::vector<Address*>& roots, uint64_t* pause_end,
+                       GcCycleStats* cycle);
+
   void DrainWorker(Worker* w);
   void ProcessSlot(Worker* w, Address slot);
   Address Evacuate(Worker* w, Address old_addr);
@@ -139,6 +152,8 @@ class CopyCollector {
   std::unique_ptr<std::atomic<uint64_t>[]> published_clock_;
   std::atomic<uint32_t> idle_workers_{0};
   uint64_t gc_epoch_ = 0;
+  CommitLayout commit_layout_;  // Durability mode only.
+  std::vector<uint64_t> commit_instants_;
   uint64_t last_hm_installs_ = 0;
   uint64_t last_hm_overflows_ = 0;
   uint64_t last_hm_hits_ = 0;

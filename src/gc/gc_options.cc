@@ -68,6 +68,45 @@ std::string GcOptions::Validate() const {
     return "lab_bytes is 0 with the ParallelScavenge collector: every object would "
            "bypass the local allocation buffers (use LabBytes(n) with n > 0)";
   }
+  if (!durability.enabled) {
+    if (durability.flush_line_cost_ns != -1 || durability.fence_cost_ns != -1 ||
+        durability.commit_record_bytes != 0 || durability.redo_log_bytes != 0) {
+      return "durability sub-options are set but durability.enabled is false: they "
+             "would silently be ignored (enable Durability() or drop the "
+             "DurabilityOptions overrides)";
+    }
+  } else {
+    if (durability.flush_line_cost_ns < -1) {
+      return "durability.flush_line_cost_ns must be >= 0 (or -1 for the device "
+             "profile default): a negative flush cost would run time backwards "
+             "(fix it via Durability(DurabilityOptions))";
+    }
+    if (durability.fence_cost_ns < -1) {
+      return "durability.fence_cost_ns must be >= 0 (or -1 for the device profile "
+             "default): a negative fence cost would run time backwards (fix it via "
+             "Durability(DurabilityOptions))";
+    }
+    if (durability.commit_record_bytes != 0) {
+      if (durability.commit_record_bytes < 4096 ||
+          durability.commit_record_bytes > 8 * 1024 * 1024) {
+        return "durability.commit_record_bytes outside [4 KiB, 8 MiB]: the slot "
+               "must hold the commit header plus the region-table snapshot and "
+               "root offsets, and stay a small fraction of the heap (use 0 to "
+               "derive it from the heap geometry, or pick a value in range via "
+               "Durability(DurabilityOptions))";
+      }
+      if (durability.commit_record_bytes % 8 != 0) {
+        return "durability.commit_record_bytes must be 8-byte aligned: the seal "
+               "word sits in the slot's last 8 bytes (round it up via "
+               "Durability(DurabilityOptions))";
+      }
+    }
+    if (durability.redo_log_bytes != 0 && durability.redo_log_bytes < 4096) {
+      return "durability.redo_log_bytes below 4 KiB: a single in-place update "
+             "batch would overflow the redo slot (use 0 for the heap-derived "
+             "default or raise it via Durability(DurabilityOptions))";
+    }
+  }
   if (adaptive.enabled) {
     if (adaptive.step_fraction <= 0.0 || adaptive.step_fraction > 1.0) {
       return "adaptive.step_fraction must be in (0, 1]: it is the multiplicative "
@@ -197,6 +236,14 @@ GcOptionsBuilder& GcOptionsBuilder::AdaptivePolicy(const AdaptivePolicyOptions& 
   o_.adaptive = adaptive;
   return *this;
 }
+GcOptionsBuilder& GcOptionsBuilder::Durability(bool on) {
+  o_.durability.enabled = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::Durability(const DurabilityOptions& durability) {
+  o_.durability = durability;
+  return *this;
+}
 
 GcOptions GcOptionsBuilder::Build() const {
   const std::string error = o_.Validate();
@@ -230,6 +277,10 @@ GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads) {
       .AsyncFlush()
       .AdaptivePolicy()
       .Build();
+}
+
+GcOptions DurableOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder(AllOptimizationsOptions(collector, threads)).Durability().Build();
 }
 
 }  // namespace nvmgc

@@ -46,6 +46,28 @@ struct AdaptivePolicyOptions {
   size_t max_write_cache_bytes = 0;
 };
 
+// Configuration of durability mode (src/nvm/persist_ledger.h +
+// src/recovery/): when enabled, the write cache's sequential write-back
+// becomes a persistence batch (flush per drained run, fence at batch
+// boundaries) and every pause ends with a durable-last commit record, so a
+// crash at any simulated instant rolls back to the last sealed commit.
+struct DurabilityOptions {
+  bool enabled = false;
+  // Simulated CLWB / SFENCE costs; -1 = take them from the heap device's
+  // DeviceProfile (flush_line_ns / fence_ns). Explicit values >= 0 override
+  // for sensitivity studies.
+  int64_t flush_line_cost_ns = -1;
+  int64_t fence_cost_ns = -1;
+  // Commit-record slot size in bytes; 0 = derived from the heap geometry
+  // (region-table snapshot + root set, page aligned). Explicit values are
+  // bounds-checked by Validate().
+  size_t commit_record_bytes = 0;
+  // Redo-log slot size in bytes; 0 = max(heap/32, 256 KiB). Holds the
+  // content redo entries for in-place updates to previously committed
+  // regions (see DESIGN.md §8).
+  size_t redo_log_bytes = 0;
+};
+
 struct GcOptions {
   CollectorKind collector = CollectorKind::kG1;
   uint32_t gc_threads = 8;
@@ -87,6 +109,10 @@ struct GcOptions {
   // asynchronous flushing and non-temporal stores are disabled until a pause
   // begins outside the window.
   bool auto_degrade = true;
+
+  // --- Durability ---
+  // Opt-in crash consistency for the NVM heap (see DurabilityOptions).
+  DurabilityOptions durability;
 
   // --- Adaptive policy ---
   // Per-pause feedback tuning of the knobs above (see AdaptivePolicyOptions).
@@ -147,6 +173,8 @@ class GcOptionsBuilder {
   GcOptionsBuilder& AutoDegrade(bool on = true);
   GcOptionsBuilder& AdaptivePolicy(bool on = true);
   GcOptionsBuilder& AdaptivePolicy(const AdaptivePolicyOptions& adaptive);
+  GcOptionsBuilder& Durability(bool on = true);
+  GcOptionsBuilder& Durability(const DurabilityOptions& durability);
 
   // Validates and returns the options; dies with the Validate() message on an
   // invalid combination.
@@ -173,6 +201,11 @@ GcOptions AllOptimizationsOptions(CollectorKind collector, uint32_t threads);
 // "adaptive": +all with asynchronous flushing, governed by the policy engine
 // — every optimization starts enabled and the controller retunes from there.
 GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads);
+
+// "durable": +all with durability mode — crash-consistent write-back and
+// per-pause commit records. Requires an NVM-backed tenured heap (the Vm
+// constructor enforces this, since the check needs the HeapConfig).
+GcOptions DurableOptions(CollectorKind collector, uint32_t threads);
 
 }  // namespace nvmgc
 

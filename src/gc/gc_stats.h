@@ -47,6 +47,13 @@ struct GcCycleStats {
   // Prefetching.
   uint64_t prefetches_issued = 0;
   uint64_t prefetch_hits = 0;
+
+  // Durability (all zero outside durability mode).
+  uint64_t persist_flush_lines = 0;   // 64B lines CLWB'd during the pause.
+  uint64_t persist_fences = 0;        // Store fences issued.
+  uint64_t persist_ns = 0;            // Simulated time in flushes + fences.
+  uint64_t persist_redo_entries = 0;  // In-place-update redo log entries.
+  uint64_t persist_commit_bytes = 0;  // Commit record payload bytes written.
 };
 
 class GcStats {
@@ -103,6 +110,11 @@ class GcStats {
       t.device_write_bytes += c.device_write_bytes;
       t.prefetches_issued += c.prefetches_issued;
       t.prefetch_hits += c.prefetch_hits;
+      t.persist_flush_lines += c.persist_flush_lines;
+      t.persist_fences += c.persist_fences;
+      t.persist_ns += c.persist_ns;
+      t.persist_redo_entries += c.persist_redo_entries;
+      t.persist_commit_bytes += c.persist_commit_bytes;
     }
     return t;
   }

@@ -16,7 +16,10 @@ Heap::Heap(const HeapConfig& config, MemoryDevice* heap_device, MemoryDevice* dr
 
   heap_bytes_ = config.region_bytes * config.heap_regions;
   cache_bytes_ = config.region_bytes * config.dram_cache_regions;
-  heap_arena_ = std::make_unique<uint8_t[]>(heap_bytes_);
+  // The commit area (durability mode) lives past the regions in the same
+  // arena so its writes are charged to the same device and tracked by the
+  // same persistence ledger; InHeapArena()/RegionFor() exclude it.
+  heap_arena_ = std::make_unique<uint8_t[]>(heap_bytes_ + config.commit_area_bytes);
   cache_arena_ = std::make_unique<uint8_t[]>(cache_bytes_ == 0 ? 1 : cache_bytes_);
   heap_base_ = reinterpret_cast<Address>(heap_arena_.get());
   cache_base_ = reinterpret_cast<Address>(cache_arena_.get());
@@ -88,12 +91,46 @@ void Heap::FreeRegion(Region* region) {
     NVMGC_CHECK(eden_count_ > 0);
     --eden_count_;
   }
+  const bool quarantine = durable_quarantine_ && in_heap_pool && region->durable_committed();
   region->ResetForType(RegionType::kFree);
-  if (in_heap_pool) {
+  if (quarantine) {
+    // Still live in the latest sealed commit: park it until the next commit
+    // seals (ReleaseQuarantinedRegions).
+    quarantined_heap_regions_.push_back(region->index());
+  } else if (in_heap_pool) {
     free_heap_regions_.push_back(region->index());
   } else {
     free_cache_regions_.push_back(region->index());
   }
+}
+
+void Heap::ReleaseQuarantinedRegions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t idx : quarantined_heap_regions_) {
+    free_heap_regions_.push_back(idx);
+  }
+  quarantined_heap_regions_.clear();
+}
+
+size_t Heap::quarantined_region_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_heap_regions_.size();
+}
+
+Region* Heap::RestoreRegion(uint32_t index, RegionType type, size_t used_bytes,
+                            uint64_t gc_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NVMGC_CHECK(index < heap_region_count_);
+  NVMGC_CHECK(used_bytes <= config_.region_bytes);
+  auto it = std::find(free_heap_regions_.begin(), free_heap_regions_.end(), index);
+  NVMGC_CHECK_MSG(it != free_heap_regions_.end(),
+                  "RestoreRegion: region is not free (restored twice?)");
+  free_heap_regions_.erase(it);
+  Region* region = &heap_regions_[index];
+  region->ResetForType(type);
+  region->set_top(region->bottom() + used_bytes);
+  region->set_gc_epoch(gc_epoch);
+  return region;
 }
 
 Region* Heap::AllocateCacheRegion() {

@@ -34,6 +34,11 @@ struct HeapConfig {
   // configuration in Figure 5: extra DRAM used for allocation, GC copies
   // DRAM eden -> NVM survivors). Requires dram_cache_regions >= eden_regions.
   bool eden_on_dram = false;
+  // Extra bytes appended to the heap arena past the regions, reserved for the
+  // durability mode's commit records and redo logs (the Vm sizes it from
+  // DurabilityOptions; 0 outside durability mode). RegionFor() returns
+  // nullptr inside this area.
+  size_t commit_area_bytes = 0;
 };
 
 class Heap {
@@ -47,6 +52,21 @@ class Heap {
   // for eden, the eden quota) is exhausted.
   Region* AllocateRegion(RegionType type);
   void FreeRegion(Region* region);
+
+  // --- Durability support ---
+  // When the quarantine is armed, FreeRegion() of a durable-committed heap
+  // region parks it instead of returning it to the free list: its content is
+  // still live in the latest sealed commit, so reusing (and re-fencing) it
+  // before the next commit seals would corrupt rollback. The collector calls
+  // ReleaseQuarantinedRegions() right after sealing each commit.
+  void set_durable_quarantine(bool on) { durable_quarantine_ = on; }
+  void ReleaseQuarantinedRegions();
+  size_t quarantined_region_count() const;
+
+  // Recovery-time restore: re-materializes heap region `index` as `type` with
+  // `used_bytes` of content and the given survivor age, pulling it off the
+  // free list. Only valid on a freshly constructed heap.
+  Region* RestoreRegion(uint32_t index, RegionType type, size_t used_bytes, uint64_t gc_epoch);
 
   // Allocates a whole region for one over-sized object; returns the object
   // address (header initialized by the caller).
@@ -96,6 +116,10 @@ class Heap {
   // Arena origin: lets tests compare object placement across Vm instances by
   // arena offset rather than host address.
   Address heap_base() const { return heap_base_; }
+  // The durability commit area appended past the regions (empty when
+  // commit_area_bytes is 0).
+  Address commit_area_base() const { return heap_base_ + heap_bytes_; }
+  size_t commit_area_bytes() const { return config_.commit_area_bytes; }
 
  private:
   Region* AllocateFromFreeList(std::vector<uint32_t>* free_list, Region* regions,
@@ -121,6 +145,8 @@ class Heap {
   std::vector<uint32_t> free_heap_regions_;
   std::vector<uint32_t> free_cache_regions_;
   uint32_t eden_count_ = 0;
+  bool durable_quarantine_ = false;
+  std::vector<uint32_t> quarantined_heap_regions_;
 };
 
 }  // namespace nvmgc

@@ -42,6 +42,7 @@ void Region::ResetForType(RegionType type) {
   flushed_.store(false, std::memory_order_relaxed);
   pending_slots_.store(0, std::memory_order_relaxed);
   closed_.store(false, std::memory_order_relaxed);
+  durable_committed_ = false;
 }
 
 }  // namespace nvmgc

@@ -108,6 +108,14 @@ class Region {
   bool closed() const { return closed_.load(std::memory_order_acquire); }
   void set_closed(bool closed) { closed_.store(closed, std::memory_order_release); }
 
+  // --- Durability (set/read only by the control thread at pause end) ---
+  // True once this region's content was part of a sealed commit record. Such
+  // a region must not be reused until the *next* commit seals (the Heap
+  // quarantines it on free), and in-place rewrites of it go through the redo
+  // log before the commit point (see DESIGN.md §8).
+  bool durable_committed() const { return durable_committed_; }
+  void set_durable_committed(bool committed) { durable_committed_ = committed; }
+
  private:
   uint32_t index_ = 0;
   Address bottom_ = 0;
@@ -126,6 +134,7 @@ class Region {
   std::atomic<bool> flushed_{false};
   std::atomic<int64_t> pending_slots_{0};
   std::atomic<bool> closed_{false};
+  bool durable_committed_ = false;
 };
 
 }  // namespace nvmgc

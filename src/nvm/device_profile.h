@@ -60,6 +60,15 @@ struct DeviceProfile {
   // this factor before the interference term is computed.
   double nt_interference_discount = 1.0;
 
+  // --- Persistence costs (durability mode; see src/nvm/persist_ledger.h) ---
+  // Cost of flushing one dirty 64B cache line to the device's persistence
+  // domain (CLWB) and of a store fence that orders outstanding flushes
+  // (SFENCE drain). On DRAM these model plain cache maintenance; on Optane
+  // the fence must wait for the WPQ/ADR domain to accept the lines, which is
+  // what makes fence placement the dominant durability cost (NVTraverse).
+  uint64_t flush_line_ns = 0;
+  uint64_t fence_ns = 0;
+
   // Per-GB price in dollars (Figure 12 cost-efficiency analysis).
   double dollars_per_gb = 0.0;
 };

@@ -54,6 +54,9 @@ uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
 
   ledger_.Charge(now, d);
   heatmap_.Charge(d);
+  if (d.op == AccessOp::kWrite && persist_.enabled()) {
+    persist_.NoteWrite(d.address, d.bytes);
+  }
   if (recording_.load(std::memory_order_acquire)) {
     recorder_->Charge(now, d);
   }
@@ -89,6 +92,7 @@ void MemoryDevice::ExportMetrics(MetricsRegistry* metrics, const std::string& pr
   metrics->SetGauge(prefix + ".lifetime.read_ops", c.read_ops);
   metrics->SetGauge(prefix + ".lifetime.write_ops", c.write_ops);
   heatmap_.ExportMetrics(metrics, prefix);
+  persist_.ExportMetrics(metrics, prefix);
 }
 
 void MemoryDevice::StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets) {

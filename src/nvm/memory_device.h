@@ -21,6 +21,7 @@
 #include "src/nvm/bandwidth_ledger.h"
 #include "src/nvm/bandwidth_model.h"
 #include "src/nvm/device_profile.h"
+#include "src/nvm/persist_ledger.h"
 #include "src/nvm/sim_clock.h"
 
 namespace nvmgc {
@@ -97,6 +98,12 @@ class MemoryDevice {
   AccessHeatmap& heatmap() { return heatmap_; }
   const AccessHeatmap& heatmap() const { return heatmap_; }
 
+  // Persistence state tracker (durability mode). Unconfigured (and thus
+  // free — one relaxed load per write) until the runtime binds the arena via
+  // persist().Configure(); see src/nvm/persist_ledger.h.
+  PersistOrderingLedger& persist() { return persist_; }
+  const PersistOrderingLedger& persist() const { return persist_; }
+
   // Publishes the lifetime traffic ledger as gauges under
   // "<prefix>.lifetime.*" (read_bytes, write_bytes, nt_write_bytes, read_ops,
   // write_ops) — e.g. "device.heap.lifetime.read_bytes" — plus the heatmap
@@ -111,6 +118,7 @@ class MemoryDevice {
   BandwidthModel model_;
   BandwidthLedger ledger_;
   AccessHeatmap heatmap_;
+  PersistOrderingLedger persist_;
 
   std::atomic<uint32_t> active_threads_{0};
   std::atomic<uint64_t> read_bytes_{0};

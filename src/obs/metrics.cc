@@ -118,6 +118,11 @@ constexpr CycleField kCycleFields[] = {
     {"device.heap.write_bytes", &GcCycleStats::device_write_bytes},
     {"prefetch.issued", &GcCycleStats::prefetches_issued},
     {"prefetch.hits", &GcCycleStats::prefetch_hits},
+    {"persist.flush_lines", &GcCycleStats::persist_flush_lines},
+    {"persist.fences", &GcCycleStats::persist_fences},
+    {"persist.ns", &GcCycleStats::persist_ns},
+    {"persist.redo_entries", &GcCycleStats::persist_redo_entries},
+    {"persist.commit_bytes", &GcCycleStats::persist_commit_bytes},
 };
 
 }  // namespace

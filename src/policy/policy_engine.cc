@@ -33,6 +33,13 @@ constexpr double kHmShrinkOccupancy = 1.0 / 16.0;
 constexpr double kAsyncOffTaintFraction = 0.50;
 constexpr double kAsyncOnTaintFraction = 0.20;
 
+// Durability: retreat when flush+fence time eats more than this share of the
+// pause while async flushing is on — async flushing fences once per region
+// (each flushing worker issues its own SFENCE) where the sync write-back
+// fences once per worker batch, so backing off async is the one knob that
+// directly removes fences.
+constexpr double kPersistRetreatStallFraction = 0.25;
+
 // Threads: the model comparison only applies when the pause was actually
 // device-bound; 2% margins make shrink/grow verdicts mutually exclusive.
 constexpr double kThreadsDeviceBoundUtilization = 0.85;
@@ -162,13 +169,17 @@ size_t PolicyEngine::OnPauseEnd(const PolicySignals& s) {
 
 bool PolicyEngine::MaybeRetreat(const PolicySignals& s) {
   const bool dram_pressure = s.cache_fault_denials > 0 || s.cache_fallback_workers > 0;
-  if (!s.degraded && !dram_pressure) {
+  const bool persist_stall = options_.durability.enabled && tuning_.async_flush &&
+                             s.persist_ns > 0 &&
+                             s.persist_stall_fraction() > kPersistRetreatStallFraction;
+  if (!s.degraded && !dram_pressure && !persist_stall) {
     return false;
   }
   ++retreats_;
   retreat_until_ = current_pause_ + options_.adaptive.cooldown_pauses + 1;
-  const char* cause = s.degraded ? "degraded pause (sustained throttle window)"
-                                 : "DRAM pressure (pair denials / worker fallback)";
+  const char* cause = s.degraded      ? "degraded pause (sustained throttle window)"
+                      : dram_pressure ? "DRAM pressure (pair denials / worker fallback)"
+                                      : "fence stalls dominate the pause (per-region SFENCEs)";
   if (tuning_.async_flush) {
     tuning_.async_flush = false;
     Decide(PolicyKnob::kAsyncFlush, 1, 0, /*retreat=*/true,

@@ -34,6 +34,8 @@ double PolicySignals::bandwidth_utilization() const {
   return read_model_mbps <= 0.0 ? 0.0 : read_total_mbps / read_model_mbps;
 }
 
+double PolicySignals::persist_stall_fraction() const { return Ratio(persist_ns, pause_ns); }
+
 PolicySignals CollectPolicySignals(const GcCycleStats& cycle, uint64_t pause_id,
                                    const DeviceTimeline* timeline) {
   PolicySignals s;
@@ -59,6 +61,8 @@ PolicySignals CollectPolicySignals(const GcCycleStats& cycle, uint64_t pause_id,
   s.hm_hits = cycle.header_map_hits;
   s.prefetches_issued = cycle.prefetches_issued;
   s.prefetch_hits = cycle.prefetch_hits;
+  s.persist_ns = cycle.persist_ns;
+  s.persist_fences = cycle.persist_fences;
   if (timeline != nullptr) {
     const DeviceTimeline::PhaseAverages avg =
         timeline->AveragePhase(pause_id, GcPhaseKind::kRead);

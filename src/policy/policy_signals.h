@@ -53,6 +53,10 @@ struct PolicySignals {
   uint64_t prefetches_issued = 0;
   uint64_t prefetch_hits = 0;
 
+  // Durability (all zero outside durability mode).
+  uint64_t persist_ns = 0;
+  uint64_t persist_fences = 0;
+
   // Read-phase device behavior (means over the pause's timeline samples).
   double read_interleave = 0.0;   // Write share of the read-phase traffic.
   double read_mbps = 0.0;         // Observed read-direction bandwidth.
@@ -74,6 +78,8 @@ struct PolicySignals {
   // Observed total bandwidth as a share of the model ceiling: ~1 means the
   // pause was device-bound, << 1 means CPU-bound.
   double bandwidth_utilization() const;
+  // Share of the pause spent flushing and fencing for durability.
+  double persist_stall_fraction() const;
 };
 
 // Assembles the signals for the pause `cycle` describes. `pause_id` is the

@@ -1,0 +1,38 @@
+#include "src/recovery/crash_injector.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace nvmgc {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+CrashInjector::CrashInjector(PersistOrderingLedger* ledger, uint64_t crash_ns)
+    : ledger_(ledger), crash_ns_(crash_ns) {
+  NVMGC_CHECK(ledger != nullptr);
+  ledger_->ArmCrashCapture(crash_ns);
+}
+
+std::vector<uint64_t> CrashInjector::SweepInstants(uint64_t seed, uint64_t min_ns,
+                                                   uint64_t max_ns, size_t count) {
+  NVMGC_CHECK(max_ns > min_ns);
+  uint64_t state = seed;
+  std::vector<uint64_t> instants;
+  instants.reserve(count);
+  const uint64_t span = max_ns - min_ns;
+  for (size_t i = 0; i < count; ++i) {
+    instants.push_back(min_ns + SplitMix64(&state) % span);
+  }
+  std::sort(instants.begin(), instants.end());
+  return instants;
+}
+
+}  // namespace nvmgc

@@ -1,9 +1,11 @@
 #include "src/runtime/vm.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/gc/old_reclaim.h"
 #include "src/nvm/fault_injector.h"
+#include "src/recovery/commit_record.h"
 #include "src/runtime/mutator.h"
 #include "src/util/check.h"
 
@@ -12,11 +14,33 @@ namespace nvmgc {
 Vm::Vm(const VmOptions& options) : options_(options) {
   const std::string gc_error = options.gc.Validate();
   NVMGC_CHECK_MSG(gc_error.empty(), gc_error.c_str());
-  heap_device_ = std::make_unique<MemoryDevice>(options.heap.heap_device == DeviceKind::kNvm
+  if (options_.gc.durability.enabled) {
+    NVMGC_CHECK_MSG(options_.heap.heap_device == DeviceKind::kNvm,
+                    "durability requires NVM-backed tenured regions: set "
+                    "HeapConfig::heap_device to DeviceKind::kNvm (a DRAM heap has no "
+                    "persistence to model)");
+    // Reserve the commit area past the regions before the arena is mapped.
+    const CommitLayout layout = ComputeCommitLayout(options_.heap, options_.gc.durability);
+    options_.heap.commit_area_bytes =
+        std::max(options_.heap.commit_area_bytes, layout.total_bytes());
+  }
+  heap_device_ = std::make_unique<MemoryDevice>(options_.heap.heap_device == DeviceKind::kNvm
                                                     ? MakeOptaneProfile()
                                                     : MakeDramProfile());
   dram_device_ = std::make_unique<MemoryDevice>(MakeDramProfile());
-  heap_ = std::make_unique<Heap>(options.heap, heap_device_.get(), dram_device_.get());
+  heap_ = std::make_unique<Heap>(options_.heap, heap_device_.get(), dram_device_.get());
+  if (options_.gc.durability.enabled) {
+    // Track persist state for the whole durable range: heap regions plus the
+    // commit area (records and redo logs obey the same flush/fence rules).
+    const DeviceProfile& profile = heap_device_->profile();
+    const DurabilityOptions& d = options_.gc.durability;
+    heap_device_->persist().Configure(
+        heap_->heap_base(), heap_->heap_arena_bytes() + heap_->commit_area_bytes(),
+        d.flush_line_cost_ns >= 0 ? static_cast<uint64_t>(d.flush_line_cost_ns)
+                                  : profile.flush_line_ns,
+        d.fence_cost_ns >= 0 ? static_cast<uint64_t>(d.fence_cost_ns) : profile.fence_ns);
+    heap_->set_durable_quarantine(true);
+  }
   pool_ = std::make_unique<GcThreadPool>(options.gc.gc_threads);
   tracer_ = std::make_unique<GcTracer>(options.gc.gc_threads, options.trace_ring_capacity);
   tracer_->set_enabled(options.trace_gc);

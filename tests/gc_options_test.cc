@@ -221,6 +221,93 @@ TEST(GcOptionsValidateTest, DisabledAdaptiveSkipsItsValidation) {
   EXPECT_TRUE(o.valid());
 }
 
+TEST(GcOptionsValidateTest, DurablePresetAndBuilderAreValid) {
+  for (const CollectorKind kind :
+       {CollectorKind::kG1, CollectorKind::kParallelScavenge}) {
+    const GcOptions preset = DurableOptions(kind, 8);
+    EXPECT_TRUE(preset.valid());
+    EXPECT_TRUE(preset.durability.enabled);
+    // Durability rides on the full optimization stack: the commit protocol
+    // persists the write cache's drained runs.
+    EXPECT_TRUE(preset.use_write_cache);
+  }
+  EXPECT_TRUE(GcOptionsBuilder()
+                  .WriteCache()
+                  .Durability()
+                  .Build()
+                  .durability.enabled);
+  EXPECT_FALSE(GcOptionsBuilder().Durability(false).Build().durability.enabled);
+}
+
+TEST(GcOptionsValidateTest, RejectsDurabilityKnobsWhileDisabled) {
+  {
+    GcOptions o;
+    o.durability.commit_record_bytes = 8192;
+    ExpectError(o, "durability sub-options are set but durability.enabled is false",
+                "Durability()");
+  }
+  {
+    GcOptions o;
+    o.durability.flush_line_cost_ns = 10;
+    ExpectError(o, "durability sub-options", "Durability()");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsNegativeDurabilityCosts) {
+  {
+    GcOptions o;
+    o.durability.enabled = true;
+    o.durability.flush_line_cost_ns = -2;
+    ExpectError(o, "durability.flush_line_cost_ns",
+                "Durability(DurabilityOptions)");
+  }
+  {
+    GcOptions o;
+    o.durability.enabled = true;
+    o.durability.fence_cost_ns = -7;
+    ExpectError(o, "durability.fence_cost_ns", "Durability(DurabilityOptions)");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsBadCommitRecordBytes) {
+  for (const size_t bad : {size_t{1024}, size_t{16} * 1024 * 1024}) {
+    GcOptions o;
+    o.durability.enabled = true;
+    o.durability.commit_record_bytes = bad;
+    ExpectError(o, "durability.commit_record_bytes outside [4 KiB, 8 MiB]",
+                "Durability(DurabilityOptions)");
+  }
+  {
+    GcOptions o;
+    o.durability.enabled = true;
+    o.durability.commit_record_bytes = 4100;  // In range but misaligned.
+    ExpectError(o, "durability.commit_record_bytes must be 8-byte aligned",
+                "Durability(DurabilityOptions)");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsTinyRedoLog) {
+  GcOptions o;
+  o.durability.enabled = true;
+  o.durability.redo_log_bytes = 512;
+  ExpectError(o, "durability.redo_log_bytes", "Durability(DurabilityOptions)");
+}
+
+TEST(GcOptionsValidateTest, DurabilityOptionsOverload) {
+  DurabilityOptions d;
+  d.enabled = true;
+  d.flush_line_cost_ns = 120;
+  d.fence_cost_ns = 500;
+  d.commit_record_bytes = 64 * 1024;
+  d.redo_log_bytes = 128 * 1024;
+  const GcOptions o = GcOptionsBuilder().Durability(d).Build();
+  EXPECT_TRUE(o.durability.enabled);
+  EXPECT_EQ(o.durability.flush_line_cost_ns, 120);
+  EXPECT_EQ(o.durability.fence_cost_ns, 500);
+  EXPECT_EQ(o.durability.commit_record_bytes, size_t{64} * 1024);
+  EXPECT_EQ(o.durability.redo_log_bytes, size_t{128} * 1024);
+}
+
 TEST(GcOptionsBuilderTest, ChainsSetEveryField) {
   const GcOptions o = GcOptionsBuilder()
                           .Collector(CollectorKind::kParallelScavenge)
@@ -282,6 +369,19 @@ TEST(GcOptionsDeathTest, VmConstructorRejectsInvalidOptions) {
   o.heap.eden_regions = 8;
   o.gc = GcOptionsBuilder().PrefetchHeaderMap().BuildUnchecked();
   EXPECT_DEATH(Vm vm(o), "prefetch_header_map requires use_header_map");
+}
+
+TEST(GcOptionsDeathTest, VmRejectsDurabilityOnDramHeap) {
+  // The enabled/device coherence check lives in the Vm constructor because
+  // GcOptions cannot see the HeapConfig.
+  VmOptions o;
+  o.heap.region_bytes = 64 * 1024;
+  o.heap.heap_regions = 64;
+  o.heap.dram_cache_regions = 8;
+  o.heap.eden_regions = 8;
+  o.heap.heap_device = DeviceKind::kDram;
+  o.gc = DurableOptions(CollectorKind::kG1, 4);
+  EXPECT_DEATH(Vm vm(o), "durability requires NVM-backed tenured regions");
 }
 
 }  // namespace
