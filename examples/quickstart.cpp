@@ -38,9 +38,9 @@ double RunScenario(const GcOptions& gc) {
   // eden quota triggers young collections automatically.
   std::vector<RootHandle> live;
   for (int round = 0; round < 120; ++round) {
-    const RootHandle root = vm.NewRoot(mutator->AllocateRegular(node));
+    const RootHandle root = vm.NewRoot(mutator->Allocate({node}));
     for (int i = 0; i < 3000; ++i) {
-      Address child = mutator->AllocateRegular(node);
+      Address child = mutator->Allocate({node});
       if (i % 2 == 0) {
         // Prepend to the list: the whole chain stays reachable from the root.
         mutator->WriteRef(child, 0, vm.GetRoot(root));

@@ -11,6 +11,7 @@ bench; exits nonzero with a message on the first violation.
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
        [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
        [--require-timeline] [--require-policy-tracks] [--require-persist-tracks]
+       [--require-gen-tracks]
 """
 
 import argparse
@@ -37,6 +38,10 @@ POLICY_TRACKS = {"policy.active_threads", "policy.write_cache_mb",
 # Counter tracks durability mode emits once per pause
 # (see src/gc/copy_collector.cc PersistEpilogue + the pause tracer block).
 PERSIST_TRACKS = {"persist.flush_lines", "persist.fences", "persist.phase_ns"}
+# Counter tracks the generational heap emits once per pause
+# (see the generational tracer block in src/gc/copy_collector.cc).
+GEN_TRACKS = {"gen.young_used_bytes", "gen.tenured_bytes", "gen.tenure_threshold",
+              "gen.survivor_overflow_bytes"}
 
 
 def fail(msg):
@@ -146,7 +151,7 @@ def check_json(path, require_pauses, require_timeline):
 
 
 def check_trace(path, require_spans, require_counter_tracks, require_policy_tracks,
-                require_persist_tracks):
+                require_persist_tracks, require_gen_tracks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -191,6 +196,11 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
         if missing:
             fail(f"{path}: expected persist counter tracks absent: {sorted(missing)} "
                  "(was a durable configuration traced?)")
+    if require_gen_tracks:
+        missing = GEN_TRACKS - counter_names
+        if missing:
+            fail(f"{path}: expected generational counter tracks absent: "
+                 f"{sorted(missing)} (was a generational configuration traced?)")
     print(f"check_bench_artifacts: {path}: OK ({len(events)} events, "
           f"{len(names)} span names, {len(counter_names)} counter tracks)")
 
@@ -214,11 +224,15 @@ def main():
     ap.add_argument("--require-persist-tracks", action="store_true",
                     help="fail when the trace lacks the persist.* counter tracks "
                          "of durability mode")
+    ap.add_argument("--require-gen-tracks", action="store_true",
+                    help="fail when the trace lacks the gen.* counter tracks of "
+                         "the generational heap")
     args = ap.parse_args()
     check_json(args.json, args.require_pauses, args.require_timeline)
     if args.trace:
         check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks,
-                    args.require_policy_tracks, args.require_persist_tracks)
+                    args.require_policy_tracks, args.require_persist_tracks,
+                    args.require_gen_tracks)
     return 0
 
 

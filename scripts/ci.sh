@@ -25,7 +25,12 @@
 #   - nvmgc_bench_durability_smoke / _artifacts_check / _gate: durable vs
 #     non-durable pause cost (the bench enforces zero persist work with
 #     durability off), the persist.* counter tracks, and the durability
-#     regression baseline (BENCH_baseline_durability.json).
+#     regression baseline (BENCH_baseline_durability.json);
+#   - nvmgc_bench_generational_smoke / _artifacts_check / _gate: the DRAM
+#     young generation vs the non-generational baseline (the bench enforces
+#     >= 50% NVM write reduction on the alloc-heavy phase and major pause
+#     cost per evacuated byte within 10%), the gen.* counter tracks, and the
+#     generational regression baseline (BENCH_baseline_generational.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,7 +48,8 @@ echo "=== bench regression gates (default build artifacts) ==="
 python3 scripts/bench_gate.py \
   --baseline BENCH_baseline.json=build/artifacts/smoke.json \
   --baseline BENCH_baseline_adaptive.json=build/artifacts/adaptive.json \
-  --baseline BENCH_baseline_durability.json=build/artifacts/durability.json
+  --baseline BENCH_baseline_durability.json=build/artifacts/durability.json \
+  --baseline BENCH_baseline_generational.json=build/artifacts/generational.json
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

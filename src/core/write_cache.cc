@@ -16,6 +16,10 @@ constexpr uint64_t kPairAllocNs = 250;
 
 WriteCache::WriteCache(Heap* heap, const GcOptions& options)
     : heap_(heap),
+      // Non-generational: the cache stages survivors, so twins are NVM
+      // survivor regions. Generational: only tenured copies go through the
+      // cache (survivors stay in DRAM), so twins are NVM old regions.
+      twin_type_(options.generational.enabled ? RegionType::kOld : RegionType::kSurvivor),
       non_temporal_(options.use_non_temporal),
       unlimited_(options.unlimited_write_cache),
       async_(options.async_flush) {
@@ -56,7 +60,7 @@ bool WriteCache::Allocate(WriteCacheWorkerState* state, size_t bytes, Allocation
         EnterDirectFallback(state, stats);
         return false;  // DRAM arena exhausted.
       }
-      Region* twin = heap_->AllocateRegion(RegionType::kSurvivor);
+      Region* twin = heap_->AllocateRegion(twin_type_);
       if (twin == nullptr) {
         heap_->FreeCacheRegion(cache);
         EnterDirectFallback(state, stats);

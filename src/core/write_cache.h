@@ -137,6 +137,7 @@ class WriteCache {
 
   Heap* heap_;
   GcTracer* tracer_ = nullptr;
+  const RegionType twin_type_;  // kSurvivor, or kOld in generational mode.
   const bool non_temporal_;
   const bool unlimited_;
   std::atomic<bool> async_;

@@ -51,6 +51,14 @@ CopyCollector::CopyCollector(Heap* heap, const GcOptions& options, GcThreadPool*
 
 bool CopyCollector::StageableThroughCache(size_t) const { return true; }
 
+uint32_t CopyCollector::TenureThreshold() const {
+  if (options_.generational.enabled) {
+    return tuning_.tenure_threshold != 0 ? tuning_.tenure_threshold
+                                         : options_.generational.tenure_threshold;
+  }
+  return heap_->config().tenure_age;
+}
+
 void CopyCollector::set_tracer(GcTracer* tracer) {
   tracer_ = tracer;
   if (write_cache_ != nullptr) {
@@ -85,6 +93,10 @@ void CopyCollector::ApplyTuning(const GcTuning& tuning) {
   if (header_map_ != nullptr && t.header_map_entries != 0) {
     header_map_->ResizeEntries(t.header_map_entries);
   }
+  t.tenure_threshold = std::min<uint32_t>(t.tenure_threshold, 15);  // 4-bit age field.
+  if (options_.generational.enabled && t.eden_quota_regions != 0) {
+    heap_->set_eden_quota(t.eden_quota_regions);
+  }
   tuning_ = t;
 }
 
@@ -96,10 +108,12 @@ MemoryDevice* CopyCollector::DeviceForAddress(Address a) {
   return heap_->DeviceFor(region);
 }
 
-GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock* app_clock) {
+GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock* app_clock,
+                                    GcKind kind) {
   ++gc_epoch_;
   const uint64_t t0 = app_clock->now_ns();
   NVMGC_CHECK(queues_->AllEmpty());
+  kind_ = kind;
 
   // Degraded mode: a pause that starts inside a sustained-throttle window
   // runs with asynchronous flushing and non-temporal stores disabled — mixed
@@ -112,13 +126,22 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     write_cache_->SetDegraded(degraded);
   }
 
-  // --- Build the collection set: all young regions. ---
+  // --- Build the collection set. ---
+  // Minor: every young region (eden + survivors of previous cycles). Major:
+  // additionally every old region; humongous and large-object regions are
+  // never copied, so they stay out and contribute their reference slots as
+  // extra roots below.
+  uint64_t young_cset_bytes = 0;
+  uint64_t old_cset_bytes = 0;
   std::vector<Region*> cset;
   heap_->ForEachRegion([&](Region* r) {
-    if (r->type() == RegionType::kEden ||
-        (r->type() == RegionType::kSurvivor && r->gc_epoch() < gc_epoch_)) {
+    const bool young = r->type() == RegionType::kEden ||
+                       (r->type() == RegionType::kSurvivor && r->gc_epoch() < gc_epoch_);
+    const bool old_in_major = kind == GcKind::kMajor && r->type() == RegionType::kOld;
+    if (young || old_in_major) {
       r->set_in_cset(true);
       cset.push_back(r);
+      (young ? young_cset_bytes : old_cset_bytes) += r->used();
     }
   });
 
@@ -132,10 +155,39 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   for (Address* root : roots) {
     queues_->queue(qi++ % n).Push(reinterpret_cast<Address>(root));
   }
-  for (Region* r : cset) {
-    for (Address slot : r->remset().Take()) {
-      queues_->queue(qi++ % n).Push(slot);
+  if (kind == GcKind::kMinor) {
+    for (Region* r : cset) {
+      for (Address slot : r->remset().Take()) {
+        queues_->queue(qi++ % n).Push(slot);
+      }
     }
+  } else {
+    // Major: drop every cset remset — a recorded slot may live inside an old
+    // region that is itself about to be evacuated, and updating the stale
+    // location after its containing object moved would lose the store. The
+    // surviving edges are rediscovered (and the remsets rebuilt) as the
+    // evacuated copies' slots are scanned. Humongous and large-object spaces
+    // are not evacuated, so their slots are scanned conservatively as roots
+    // — they are also the only old->old edges no remset tracks.
+    for (Region* r : cset) {
+      r->remset().Take();
+    }
+    heap_->ForEachRegion([&](Region* r) {
+      if (r->type() != RegionType::kHumongous && r->type() != RegionType::kLarge) {
+        return;
+      }
+      r->remset().Take();
+      heap_->ForEachObjectInRegion(r, [&](Address a) {
+        const Klass& klass = heap_->klasses().Get(obj::KlassIdOf(a));
+        const size_t nslots = obj::RefSlotCount(a, klass);
+        for (size_t i = 0; i < nslots; ++i) {
+          const Address slot = obj::RefSlot(a, klass, i);
+          if (obj::LoadRef(slot) != kNullAddress) {
+            queues_->queue(qi++ % n).Push(slot);
+          }
+        }
+      });
+    });
   }
 
   const DeviceCounters before = heap_->heap_device()->counters();
@@ -270,6 +322,7 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     cycle.cache_fault_denials += l.cache_fault_denials;
     cycle.cache_fallback_workers += l.cache_fallback_workers;
     cycle.cache_fallback_bytes += l.cache_fallback_bytes;
+    cycle.survivor_overflow_bytes += l.survivor_overflow_bytes;
     cycle.prefetches_issued += l.prefetches_issued;
     cycle.prefetch_hits += w.prefetch.hits();
     cycle.persist_flush_lines += l.persist_flush_lines;
@@ -282,6 +335,10 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
   cycle.persist_redo_entries = persist_stats.persist_redo_entries;
   cycle.persist_commit_bytes = persist_stats.persist_commit_bytes;
   cycle.degraded_mode = degraded ? 1 : 0;
+  cycle.is_major = kind == GcKind::kMajor ? 1 : 0;
+  cycle.young_cset_bytes = young_cset_bytes;
+  cycle.old_cset_bytes = old_cset_bytes;
+  cycle.tenure_threshold_used = TenureThreshold();
   if (header_map_ != nullptr) {
     // Header-map counters are monotonic; report per-cycle deltas.
     cycle.header_map_installs = header_map_->installs() - last_hm_installs_;
@@ -329,6 +386,23 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
                            static_cast<double>(cycle.persist_fences));
       tracer_->EmitCounter("persist.phase_ns", "persist", pause_end,
                            static_cast<double>(cycle.persist_ns));
+    }
+    if (options_.generational.enabled) {
+      // Generational health tracks (Perfetto; consumed by check_bench_artifacts).
+      uint64_t young_used = 0;
+      heap_->ForEachRegion([&](Region* r) {
+        if (r->is_young()) {
+          young_used += r->used();
+        }
+      });
+      tracer_->EmitCounter("gen.young_used_bytes", "gen", pause_end,
+                           static_cast<double>(young_used));
+      tracer_->EmitCounter("gen.tenured_bytes", "gen", pause_end,
+                           static_cast<double>(cycle.bytes_promoted));
+      tracer_->EmitCounter("gen.tenure_threshold", "gen", pause_end,
+                           static_cast<double>(cycle.tenure_threshold_used));
+      tracer_->EmitCounter("gen.survivor_overflow_bytes", "gen", pause_end,
+                           static_cast<double>(cycle.survivor_overflow_bytes));
     }
     if (timeline_ != nullptr) {
       timeline_->EmitCounters(tracer_, timeline_from);
@@ -419,10 +493,23 @@ void CopyCollector::ProcessSlot(Worker* w, Address slot) {
       w->local.refs_processed += 1;
       // Remembered-set maintenance: surviving old->young edges are re-recorded
       // so the next young collection still sees them as roots.
-      if (slot_region != nullptr && slot_region->is_old_like()) {
+      Region* home_region = slot_region;
+      Address home_slot = slot;
+      if (slot_region != nullptr && slot_region->type() == RegionType::kWriteCache) {
+        // Staged copy: the slot's bytes sit in a DRAM cache region, but the
+        // object's final home is the NVM twin (kOld in generational mode).
+        // An old->young edge must be recorded at the final address — the
+        // flush memcpy carries the already-updated slot value there.
+        Region* twin = slot_region->cache_twin();
+        if (twin != nullptr) {
+          home_region = twin;
+          home_slot = twin->bottom() + (slot - slot_region->bottom());
+        }
+      }
+      if (home_region != nullptr && home_region->is_old_like()) {
         Region* new_region = heap_->RegionFor(forwarded);
         if (new_region != nullptr && new_region->is_young()) {
-          new_region->remset().Add(slot);
+          new_region->remset().Add(home_slot);
         }
       }
     }
@@ -465,7 +552,10 @@ Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
       klass.kind == KlassKind::kRegular ? 0 : obj::ArrayLength(old_addr);
   const size_t size = obj::SizeOf(klass, array_length);
   const uint32_t age = obj::AgeOf(mark);
-  const bool promote = age + 1 >= heap_->config().tenure_age;
+  // In a major collection old objects are evacuated old->old; they are
+  // already tenured, so they never demote back into the young generation.
+  const bool already_old = src_region->type() == RegionType::kOld;
+  const bool promote = already_old || age + 1 >= TenureThreshold();
   w->clock.Advance(kEvacCpuNs);
 
   CopyTarget target;
@@ -497,11 +587,12 @@ Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
   dst_dev->Access(&w->clock, SequentialWrite(target.physical, static_cast<uint32_t>(size)));
   std::memcpy(reinterpret_cast<void*>(target.physical),
               reinterpret_cast<const void*>(old_addr), size);
-  obj::StoreMark(target.physical, obj::MarkWithAge(age + 1));
+  // The age field is 4 bits; old->old copies in major collections saturate it.
+  obj::StoreMark(target.physical, obj::MarkWithAge(std::min<uint32_t>(age + 1, 15)));
 
   w->local.objects_copied += 1;
   w->local.bytes_copied += size;
-  if (promote) {
+  if (target.promoted && !already_old) {
     w->local.objects_promoted += 1;
     w->local.bytes_promoted += size;
   }
@@ -547,7 +638,13 @@ Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
 
 void CopyCollector::AllocateTarget(Worker* w, size_t size, bool promote, CopyTarget* out) {
   out->promoted = promote;
-  if (!promote && write_cache_ != nullptr) {
+  // Staging policy: the cache absorbs copies headed for NVM. Without the
+  // generational heap every survivor lands on NVM, so non-promoted copies
+  // stage; with it survivors stay in DRAM and only tenured copies stage
+  // (their twins are NVM old regions — see WriteCache's twin_type_).
+  const bool generational = options_.generational.enabled;
+  const bool cache_eligible = generational ? promote : !promote;
+  if (cache_eligible && write_cache_ != nullptr) {
     if (StageableThroughCache(size)) {
       WriteCache::Allocation a;
       if (write_cache_->Allocate(&w->cache_state, size, &a, gc_epoch_, &w->clock, &w->local)) {
@@ -567,12 +664,21 @@ void CopyCollector::AllocateTarget(Worker* w, size_t size, bool promote, CopyTar
     }
   }
   out->staged = false;
-  Region** target = promote ? &w->old_target : &w->direct_survivor;
-  const RegionType type = promote ? RegionType::kOld : RegionType::kSurvivor;
   while (true) {
+    Region** target = out->promoted ? &w->old_target : &w->direct_survivor;
+    const RegionType type = out->promoted ? RegionType::kOld : RegionType::kSurvivor;
     if (*target == nullptr) {
       *target = heap_->AllocateRegion(type);
-      NVMGC_CHECK(*target != nullptr);  // Heap exhausted during evacuation.
+      if (*target == nullptr) {
+        // Only the generational survivor quota may run out mid-evacuation;
+        // anything else is genuine heap exhaustion. Overflowing objects are
+        // promoted early (straight to NVM old — no restaging through the
+        // cache, the worker's pair state may already be degraded).
+        NVMGC_CHECK(generational && type == RegionType::kSurvivor);
+        w->local.survivor_overflow_bytes += size;
+        out->promoted = true;
+        continue;
+      }
       if (type == RegionType::kSurvivor) {
         (*target)->set_gc_epoch(gc_epoch_);
       }
@@ -629,7 +735,8 @@ void CopyCollector::PersistEpilogue(const std::vector<Address*>& roots, uint64_t
       return;  // DRAM cache regions are staging only, never durable.
     }
     const RegionType t = r->type();
-    if (t == RegionType::kSurvivor || t == RegionType::kOld || t == RegionType::kHumongous) {
+    if (t == RegionType::kSurvivor || t == RegionType::kOld ||
+        t == RegionType::kHumongous || t == RegionType::kLarge) {
       live.push_back(r);
     }
   });

@@ -48,10 +48,15 @@ class CopyCollector {
   CopyCollector(const CopyCollector&) = delete;
   CopyCollector& operator=(const CopyCollector&) = delete;
 
-  // Performs one stop-the-world young collection. `roots` are host locations
+  // Performs one stop-the-world collection. `roots` are host locations
   // holding heap addresses (mutator handles); `app_clock` is the simulated
-  // application clock, advanced by the pause duration.
-  GcCycleStats Collect(const std::vector<Address*>& roots, SimClock* app_clock);
+  // application clock, advanced by the pause duration. `kind` selects the
+  // collection set: kMinor evacuates the young generation only (the default,
+  // and the only kind outside generational mode); kMajor additionally
+  // evacuates old regions, using humongous/large-object reference slots as
+  // extra roots since those spaces are never copied.
+  GcCycleStats Collect(const std::vector<Address*>& roots, SimClock* app_clock,
+                       GcKind kind = GcKind::kMinor);
 
   GcStats& stats() { return stats_; }
   const GcStats& stats() const { return stats_; }
@@ -116,6 +121,9 @@ class CopyCollector {
 
   bool HeaderMapActive() const;
   MemoryDevice* DeviceForAddress(Address a);
+  // Copy count at which a survivor tenures: the tuned generational threshold
+  // when the generational heap is on, HeapConfig::tenure_age otherwise.
+  uint32_t TenureThreshold() const;
 
   // Durability-mode pause epilogue (control thread, after cset reclaim):
   // flushes new live regions, writes the in-place-update redo log, seals the
@@ -152,6 +160,7 @@ class CopyCollector {
   std::unique_ptr<std::atomic<uint64_t>[]> published_clock_;
   std::atomic<uint32_t> idle_workers_{0};
   uint64_t gc_epoch_ = 0;
+  GcKind kind_ = GcKind::kMinor;  // Kind of the pause currently running.
   CommitLayout commit_layout_;  // Durability mode only.
   std::vector<uint64_t> commit_instants_;
   uint64_t last_hm_installs_ = 0;

@@ -107,6 +107,35 @@ std::string GcOptions::Validate() const {
              "default or raise it via Durability(DurabilityOptions))";
     }
   }
+  if (!generational.enabled) {
+    if (generational.young_gen_bytes != 0 ||
+        generational.survivor_fraction != 0.125 ||
+        generational.tenure_threshold != 3 ||
+        generational.large_object_threshold != 0) {
+      return "generational sub-options are set but generational.enabled is false: "
+             "they would silently be ignored (enable Generational() or drop the "
+             "GenerationalOptions overrides)";
+    }
+  } else {
+    if (generational.survivor_fraction <= 0.0 ||
+        generational.survivor_fraction > 0.5) {
+      return "generational.survivor_fraction outside (0, 0.5]: the survivor space "
+             "must exist and cannot exceed half the young generation (fix it via "
+             "Generational(GenerationalOptions))";
+    }
+    if (generational.tenure_threshold < 1 || generational.tenure_threshold > 15) {
+      return "generational.tenure_threshold outside [1, 15]: the object age field "
+             "is 4 bits wide, and a threshold of 0 would tenure everything on its "
+             "first copy (fix it via Generational(GenerationalOptions))";
+    }
+    if (generational.large_object_threshold != 0 &&
+        generational.large_object_threshold < 1024) {
+      return "generational.large_object_threshold below 1 KiB: ordinary small "
+             "objects would flood the never-copied large-object space (use 0 for "
+             "the region-derived default or raise it via "
+             "Generational(GenerationalOptions))";
+    }
+  }
   if (adaptive.enabled) {
     if (adaptive.step_fraction <= 0.0 || adaptive.step_fraction > 1.0) {
       return "adaptive.step_fraction must be in (0, 1]: it is the multiplicative "
@@ -165,6 +194,9 @@ GcTuning DefaultGcTuning(const GcOptions& options) {
   t.header_map_entries = 0;  // Keep the constructed table size.
   t.async_flush = options.async_flush;
   t.prefetch_window = 64;  // PrefetchQueue::kCapacity (full distance).
+  t.tenure_threshold =
+      options.generational.enabled ? options.generational.tenure_threshold : 0;
+  t.eden_quota_regions = 0;  // Keep the constructed quota.
   return t;
 }
 
@@ -244,6 +276,14 @@ GcOptionsBuilder& GcOptionsBuilder::Durability(const DurabilityOptions& durabili
   o_.durability = durability;
   return *this;
 }
+GcOptionsBuilder& GcOptionsBuilder::Generational(bool on) {
+  o_.generational.enabled = on;
+  return *this;
+}
+GcOptionsBuilder& GcOptionsBuilder::Generational(const GenerationalOptions& generational) {
+  o_.generational = generational;
+  return *this;
+}
 
 GcOptions GcOptionsBuilder::Build() const {
   const std::string error = o_.Validate();
@@ -281,6 +321,12 @@ GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads) {
 
 GcOptions DurableOptions(CollectorKind collector, uint32_t threads) {
   return GcOptionsBuilder(AllOptimizationsOptions(collector, threads)).Durability().Build();
+}
+
+GcOptions GenerationalGcOptions(CollectorKind collector, uint32_t threads) {
+  return GcOptionsBuilder(AllOptimizationsOptions(collector, threads))
+      .Generational()
+      .Build();
 }
 
 }  // namespace nvmgc

@@ -68,6 +68,34 @@ struct DurabilityOptions {
   size_t redo_log_bytes = 0;
 };
 
+// Configuration of the generational NVM-tiered heap (src/heap + src/gc):
+// when enabled, allocation goes to a DRAM-resident young generation (eden +
+// survivor regions served from the DRAM arena), survivors age in place and
+// are tenured into NVM old regions — through the write cache when it is on —
+// once they reach tenure_threshold copies. Objects at or above
+// large_object_threshold bypass the young generation entirely and are placed
+// in the NVM large-object space, never copied. Minor collections evacuate
+// only the young generation (the old→young remembered set provides the extra
+// roots); major collections also evacuate old regions. The young generation
+// is deliberately volatile: like the DRAM header map, it holds no committed
+// state, so durability's commit protocol covers only the NVM generations.
+struct GenerationalOptions {
+  bool enabled = false;
+  // Young-generation budget in bytes (eden + survivor); 0 = heap/4, matching
+  // the paper's 16 GiB heap / 4 GiB young space. Rounded to whole regions and
+  // bounds-checked against the heap geometry by the Vm constructor.
+  size_t young_gen_bytes = 0;
+  // Fraction of the young generation reserved for survivor regions, in
+  // (0, 0.5]. Survivor overflow promotes early (counted, never fails).
+  double survivor_fraction = 0.125;
+  // Copy count after which a survivor is tenured to NVM, in [1, 15] (the age
+  // field is 4 bits wide). The adaptive policy retunes this per pause.
+  uint32_t tenure_threshold = 3;
+  // Objects of at least this many bytes go straight to the NVM large-object
+  // space; 0 = region_bytes/8, derived from the heap geometry by the Vm.
+  size_t large_object_threshold = 0;
+};
+
 struct GcOptions {
   CollectorKind collector = CollectorKind::kG1;
   uint32_t gc_threads = 8;
@@ -118,6 +146,11 @@ struct GcOptions {
   // Per-pause feedback tuning of the knobs above (see AdaptivePolicyOptions).
   AdaptivePolicyOptions adaptive;
 
+  // --- Generational heap ---
+  // DRAM young generation with age-based tenuring into the NVM old
+  // generation (see GenerationalOptions).
+  GenerationalOptions generational;
+
   // Returns an empty string when the configuration is coherent, otherwise an
   // actionable description of the first problem found (what is wrong and
   // which setter/flag fixes it). Checked by the Vm constructor.
@@ -144,6 +177,13 @@ struct GcTuning {
   // Outstanding-prefetch budget (the prefetch distance), clamped to
   // [1, PrefetchQueue::kCapacity].
   uint32_t prefetch_window = 64;
+  // Generational only: survivor age at which the next copy tenures to NVM,
+  // in [1, 15]. Ignored (0) when the generational heap is off.
+  uint32_t tenure_threshold = 0;
+  // Generational only: eden region quota for the next mutator epoch; 0 =
+  // keep the constructed quota. The policy engine grows/shrinks it with the
+  // measured minor-survival rate.
+  uint32_t eden_quota_regions = 0;
 };
 
 GcTuning DefaultGcTuning(const GcOptions& options);
@@ -175,6 +215,8 @@ class GcOptionsBuilder {
   GcOptionsBuilder& AdaptivePolicy(const AdaptivePolicyOptions& adaptive);
   GcOptionsBuilder& Durability(bool on = true);
   GcOptionsBuilder& Durability(const DurabilityOptions& durability);
+  GcOptionsBuilder& Generational(bool on = true);
+  GcOptionsBuilder& Generational(const GenerationalOptions& generational);
 
   // Validates and returns the options; dies with the Validate() message on an
   // invalid combination.
@@ -206,6 +248,10 @@ GcOptions AdaptiveOptions(CollectorKind collector, uint32_t threads);
 // per-pause commit records. Requires an NVM-backed tenured heap (the Vm
 // constructor enforces this, since the check needs the HeapConfig).
 GcOptions DurableOptions(CollectorKind collector, uint32_t threads);
+
+// "generational": +all with the DRAM young generation — most objects die in
+// DRAM and never touch NVM; only tenured survivors and large objects do.
+GcOptions GenerationalGcOptions(CollectorKind collector, uint32_t threads);
 
 }  // namespace nvmgc
 

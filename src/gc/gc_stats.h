@@ -8,11 +8,29 @@
 
 namespace nvmgc {
 
+// Cycle kind (generational mode). Non-generational runs only perform minor
+// collections over the all-young heap.
+enum class GcKind : uint8_t {
+  kMinor,  // Young generation only (eden + aged survivors).
+  kMajor,  // Young + old regions; large-object/humongous spaces are marked in place.
+};
+
+inline const char* GcKindName(GcKind kind) {
+  return kind == GcKind::kMajor ? "major" : "minor";
+}
+
 struct GcCycleStats {
   uint64_t start_ns = 0;  // Simulated time at which the pause began.
   uint64_t pause_ns = 0;
   uint64_t read_phase_ns = 0;       // Copy-and-traverse (read-mostly) sub-phase.
   uint64_t writeback_phase_ns = 0;  // Write-only sub-phase (write cache only).
+
+  // Generational split (is_major stays 0 outside generational mode).
+  uint64_t is_major = 0;                 // 1 when this cycle was a major collection.
+  uint64_t young_cset_bytes = 0;         // Young-region bytes in the collection set.
+  uint64_t old_cset_bytes = 0;           // Old-region bytes in the cset (major only).
+  uint64_t survivor_overflow_bytes = 0;  // Promoted early: DRAM survivor space full.
+  uint64_t tenure_threshold_used = 0;    // Threshold in effect for this cycle.
 
   uint64_t objects_copied = 0;
   uint64_t bytes_copied = 0;
@@ -87,6 +105,12 @@ class GcStats {
       t.pause_ns += c.pause_ns;
       t.read_phase_ns += c.read_phase_ns;
       t.writeback_phase_ns += c.writeback_phase_ns;
+      t.is_major += c.is_major;
+      t.young_cset_bytes += c.young_cset_bytes;
+      t.old_cset_bytes += c.old_cset_bytes;
+      t.survivor_overflow_bytes += c.survivor_overflow_bytes;
+      // tenure_threshold_used is a per-cycle value, not a sum; keep the last.
+      t.tenure_threshold_used = c.tenure_threshold_used;
       t.objects_copied += c.objects_copied;
       t.bytes_copied += c.bytes_copied;
       t.objects_promoted += c.objects_promoted;

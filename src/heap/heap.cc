@@ -13,6 +13,11 @@ Heap::Heap(const HeapConfig& config, MemoryDevice* heap_device, MemoryDevice* dr
   NVMGC_CHECK(dram_device_->kind() == DeviceKind::kDram);
   NVMGC_CHECK(config.region_bytes >= 4096 && (config.region_bytes % 8) == 0);
   NVMGC_CHECK(config.eden_regions <= config.heap_regions);
+  if (config.generational) {
+    // The whole young generation is DRAM-resident; the arena must hold it.
+    NVMGC_CHECK(config.dram_cache_regions >= config.eden_regions + config.survivor_regions);
+  }
+  eden_quota_ = config.eden_regions;
 
   heap_bytes_ = config.region_bytes * config.heap_regions;
   cache_bytes_ = config.region_bytes * config.dram_cache_regions;
@@ -62,17 +67,59 @@ Region* Heap::AllocateFromFreeList(std::vector<uint32_t>* free_list, Region* reg
 Region* Heap::AllocateRegion(RegionType type) {
   NVMGC_CHECK(type != RegionType::kFree && type != RegionType::kWriteCache);
   std::lock_guard<std::mutex> lock(mu_);
-  if (type == RegionType::kEden && eden_count_ >= config_.eden_regions) {
+  if (type == RegionType::kEden && eden_count_ >= eden_quota_) {
     return nullptr;  // Eden quota exhausted: caller should trigger a young GC.
   }
-  const bool from_dram_arena = type == RegionType::kEden && config_.eden_on_dram;
+  if (config_.generational && type == RegionType::kSurvivor &&
+      survivor_count_ >= config_.survivor_regions) {
+    return nullptr;  // Survivor quota exhausted: the collector promotes early.
+  }
+  // In generational mode the whole young generation lives in the DRAM arena;
+  // eden_on_dram covers the non-generational "young-gen-dram" configuration.
+  const bool from_dram_arena =
+      config_.generational ? type == RegionType::kEden || type == RegionType::kSurvivor
+                           : type == RegionType::kEden && config_.eden_on_dram;
   Region* region =
       from_dram_arena ? AllocateFromFreeList(&free_cache_regions_, cache_regions_.get(), type)
                       : AllocateFromFreeList(&free_heap_regions_, heap_regions_.get(), type);
   if (region != nullptr && type == RegionType::kEden) {
     ++eden_count_;
   }
+  if (region != nullptr && config_.generational && type == RegionType::kSurvivor) {
+    ++survivor_count_;
+  }
   return region;
+}
+
+Address Heap::AllocateLarge(size_t bytes) {
+  NVMGC_CHECK(bytes <= config_.region_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (los_current_ != nullptr) {
+    const Address a = los_current_->Allocate(bytes);
+    if (a != kNullAddress) {
+      return a;
+    }
+  }
+  Region* region =
+      AllocateFromFreeList(&free_heap_regions_, heap_regions_.get(), RegionType::kLarge);
+  if (region == nullptr) {
+    return kNullAddress;
+  }
+  los_current_ = region;
+  return region->Allocate(bytes);
+}
+
+void Heap::set_eden_quota(uint32_t regions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t max_quota = config_.generational
+                                 ? config_.dram_cache_regions - config_.survivor_regions
+                                 : config_.heap_regions;
+  eden_quota_ = std::max<uint32_t>(1, std::min(regions, max_quota));
+}
+
+uint32_t Heap::eden_quota() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eden_quota_;
 }
 
 Region* Heap::AllocateHumongousRegion() {
@@ -90,6 +137,13 @@ void Heap::FreeRegion(Region* region) {
   if (region->type() == RegionType::kEden) {
     NVMGC_CHECK(eden_count_ > 0);
     --eden_count_;
+  }
+  if (config_.generational && region->type() == RegionType::kSurvivor && in_cache_pool) {
+    NVMGC_CHECK(survivor_count_ > 0);
+    --survivor_count_;
+  }
+  if (region == los_current_) {
+    los_current_ = nullptr;  // Reclaimed large-object region: reopen lazily.
   }
   const bool quarantine = durable_quarantine_ && in_heap_pool && region->durable_committed();
   region->ResetForType(RegionType::kFree);

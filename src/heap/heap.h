@@ -34,6 +34,13 @@ struct HeapConfig {
   // configuration in Figure 5: extra DRAM used for allocation, GC copies
   // DRAM eden -> NVM survivors). Requires dram_cache_regions >= eden_regions.
   bool eden_on_dram = false;
+  // Generational NVM-tiered mode: the whole young generation (eden AND
+  // survivor regions) is served from the DRAM arena; only tenured old,
+  // humongous and large-object regions live on the heap device. The Vm
+  // derives these fields from GcOptions::generational and grows
+  // dram_cache_regions by the young-generation budget.
+  bool generational = false;
+  uint32_t survivor_regions = 0;  // DRAM survivor quota (generational only).
   // Extra bytes appended to the heap arena past the regions, reserved for the
   // durability mode's commit records and redo logs (the Vm sizes it from
   // DurabilityOptions; 0 outside durability mode). RegionFor() returns
@@ -72,6 +79,18 @@ class Heap {
   // address (header initialized by the caller).
   Region* AllocateHumongousRegion();
 
+  // Large-object space (generational mode): bump-allocates `bytes` into the
+  // current kLarge region on the heap device, opening a new one when needed.
+  // Large objects are tenured in place and never copied. Returns kNullAddress
+  // when the heap arena is exhausted.
+  Address AllocateLarge(size_t bytes);
+
+  // Generational mode: retune the eden quota between pauses (the adaptive
+  // policy's kEdenQuota knob). Clamped to [1, regions the DRAM arena can
+  // actually serve]; never shrinks below the eden regions currently in use.
+  void set_eden_quota(uint32_t regions);
+  uint32_t eden_quota() const;
+
   // DRAM staging arena (write-cache regions). Returns nullptr when exhausted.
   Region* AllocateCacheRegion();
   void FreeCacheRegion(Region* region);
@@ -106,6 +125,7 @@ class Heap {
   uint32_t free_region_count() const;
   uint32_t free_cache_region_count() const;
   uint32_t eden_region_count() const { return eden_count_; }
+  uint32_t survivor_region_count() const { return survivor_count_; }
 
   // Walks all (parsable) objects in a region bottom..top.
   void ForEachObjectInRegion(Region* region, const std::function<void(Address)>& fn) const;
@@ -145,6 +165,9 @@ class Heap {
   std::vector<uint32_t> free_heap_regions_;
   std::vector<uint32_t> free_cache_regions_;
   uint32_t eden_count_ = 0;
+  uint32_t eden_quota_ = 0;      // Runtime-tunable copy of config.eden_regions.
+  uint32_t survivor_count_ = 0;  // DRAM survivor regions in use (generational).
+  Region* los_current_ = nullptr;  // Open large-object region (generational).
   bool durable_quarantine_ = false;
   std::vector<uint32_t> quarantined_heap_regions_;
 };

@@ -16,6 +16,8 @@ const char* RegionTypeName(RegionType type) {
       return "humongous";
     case RegionType::kWriteCache:
       return "write-cache";
+    case RegionType::kLarge:
+      return "large";
   }
   return "?";
 }

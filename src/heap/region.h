@@ -25,6 +25,7 @@ enum class RegionType : uint8_t {
   kOld,
   kHumongous,   // Single over-sized object; never evacuated.
   kWriteCache,  // DRAM staging twin of an NVM survivor/old region.
+  kLarge,       // Large-object space: NVM-resident, tenured in place, never copied.
 };
 
 const char* RegionTypeName(RegionType type);
@@ -65,7 +66,10 @@ class Region {
   DeviceKind device() const { return device_; }
 
   bool is_young() const { return type_ == RegionType::kEden || type_ == RegionType::kSurvivor; }
-  bool is_old_like() const { return type_ == RegionType::kOld || type_ == RegionType::kHumongous; }
+  bool is_old_like() const {
+    return type_ == RegionType::kOld || type_ == RegionType::kHumongous ||
+           type_ == RegionType::kLarge;
+  }
 
   RememberedSet& remset() { return remset_; }
   const RememberedSet& remset() const { return remset_; }

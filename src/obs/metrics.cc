@@ -102,6 +102,10 @@ constexpr CycleField kCycleFields[] = {
     {"gc.refs_processed", &GcCycleStats::refs_processed},
     {"gc.steals", &GcCycleStats::steals},
     {"gc.degraded_pauses", &GcCycleStats::degraded_mode},
+    {"gc.major_pauses", &GcCycleStats::is_major},
+    {"gen.young_cset_bytes", &GcCycleStats::young_cset_bytes},
+    {"gen.old_cset_bytes", &GcCycleStats::old_cset_bytes},
+    {"gen.survivor_overflow_bytes", &GcCycleStats::survivor_overflow_bytes},
     {"cache.bytes_staged", &GcCycleStats::cache_bytes_staged},
     {"cache.overflow_bytes", &GcCycleStats::cache_overflow_bytes},
     {"cache.regions_flushed_sync", &GcCycleStats::regions_flushed_sync},
@@ -152,6 +156,11 @@ void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle) {
   registry->RecordHistogram("gc.pause_ns", cycle.pause_ns);
   registry->RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
   registry->RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
+  const std::string kind_prefix =
+      std::string("gc.pause.") + (cycle.is_major != 0 ? "major" : "minor") + ".";
+  registry->RecordHistogram(kind_prefix + "pause_ns", cycle.pause_ns);
+  registry->RecordHistogram(kind_prefix + "read_phase_ns", cycle.read_phase_ns);
+  registry->RecordHistogram(kind_prefix + "writeback_phase_ns", cycle.writeback_phase_ns);
   registry->RecordPause(SnapshotFromCycle(registry->pauses().size(), cycle));
 }
 

@@ -54,8 +54,10 @@ enum class PolicyKnob : uint8_t {
   kHeaderMapEntries,
   kAsyncFlush,
   kPrefetchWindow,
+  kTenureThreshold,  // Generational heaps only.
+  kEdenQuota,        // Generational heaps only.
 };
-inline constexpr size_t kPolicyKnobCount = 6;
+inline constexpr size_t kPolicyKnobCount = 8;
 
 const char* PolicyKnobName(PolicyKnob knob);
 
@@ -78,8 +80,13 @@ class PolicyEngine {
   // builds the initial tuning, which reproduces the static configuration.
   // `heap_profile` parameterizes the bandwidth model driving the thread-count
   // rule.
+  // The last two parameters only matter on a generational heap: the Vm passes
+  // the heap's initial eden quota and the DRAM ceiling the quota may grow to
+  // (dram_cache_regions minus the survivor reservation). Both default to 0,
+  // which disables the eden-quota rule.
   PolicyEngine(const GcOptions& options, size_t heap_arena_bytes,
-               size_t cache_arena_bytes, const DeviceProfile& heap_profile);
+               size_t cache_arena_bytes, const DeviceProfile& heap_profile,
+               uint32_t eden_quota_regions = 0, uint32_t max_eden_quota_regions = 0);
 
   // The tuning the next pause should run with (always resolved: capacities
   // and table sizes carry concrete values, never the 0 "keep" sentinels).
@@ -121,6 +128,7 @@ class PolicyEngine {
   void DecideAsyncFlush(const PolicySignals& s);
   void DecideGcThreads(const PolicySignals& s);
   void DecidePrefetch(const PolicySignals& s);
+  void DecideGenerational(const PolicySignals& s);
 
   GcOptions options_;
   BandwidthModel model_;
@@ -133,6 +141,7 @@ class PolicyEngine {
   size_t max_cache_bytes_ = 0;
   size_t min_hm_entries_ = 16;
   size_t max_hm_entries_ = 16;
+  uint32_t max_eden_quota_ = 0;  // 0 = eden-quota rule disabled.
 
   uint64_t pauses_seen_ = 0;
   uint64_t current_pause_ = 0;  // Pause id being decided on.

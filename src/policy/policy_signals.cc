@@ -36,6 +36,14 @@ double PolicySignals::bandwidth_utilization() const {
 
 double PolicySignals::persist_stall_fraction() const { return Ratio(persist_ns, pause_ns); }
 
+double PolicySignals::promoted_fraction() const {
+  return Ratio(bytes_promoted, bytes_copied);
+}
+
+double PolicySignals::young_survival_fraction() const {
+  return Ratio(bytes_copied, young_cset_bytes);
+}
+
 PolicySignals CollectPolicySignals(const GcCycleStats& cycle, uint64_t pause_id,
                                    const DeviceTimeline* timeline) {
   PolicySignals s;
@@ -45,8 +53,12 @@ PolicySignals CollectPolicySignals(const GcCycleStats& cycle, uint64_t pause_id,
   s.writeback_phase_ns = cycle.writeback_phase_ns;
   s.bytes_copied = cycle.bytes_copied;
   s.objects_copied = cycle.objects_copied;
+  s.bytes_promoted = cycle.bytes_promoted;
   s.refs_processed = cycle.refs_processed;
   s.steals = cycle.steals;
+  s.is_major = cycle.is_major != 0;
+  s.young_cset_bytes = cycle.young_cset_bytes;
+  s.survivor_overflow_bytes = cycle.survivor_overflow_bytes;
   s.cache_bytes_staged = cycle.cache_bytes_staged;
   s.cache_overflow_bytes = cycle.cache_overflow_bytes;
   s.cache_fallback_bytes = cycle.cache_fallback_bytes;

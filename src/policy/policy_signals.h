@@ -30,8 +30,14 @@ struct PolicySignals {
   // Copy volume.
   uint64_t bytes_copied = 0;
   uint64_t objects_copied = 0;
+  uint64_t bytes_promoted = 0;
   uint64_t refs_processed = 0;
   uint64_t steals = 0;
+
+  // Generational (all zero outside generational mode).
+  bool is_major = false;
+  uint64_t young_cset_bytes = 0;
+  uint64_t survivor_overflow_bytes = 0;
 
   // Write cache.
   uint64_t cache_bytes_staged = 0;
@@ -78,6 +84,10 @@ struct PolicySignals {
   // Observed total bandwidth as a share of the model ceiling: ~1 means the
   // pause was device-bound, << 1 means CPU-bound.
   double bandwidth_utilization() const;
+  // Promoted share of the copied bytes (tenuring pressure).
+  double promoted_fraction() const;
+  // Copied share of the young collection-set bytes (young survival rate).
+  double young_survival_fraction() const;
   // Share of the pause spent flushing and fencing for durability.
   double persist_stall_fraction() const;
 };

@@ -27,9 +27,10 @@ std::string FormatGcCycle(size_t id, const GcCycleStats& cycle) {
   char line[512];
   std::snprintf(
       line, sizeof(line),
-      "[%8.3fs] GC(%zu) pause young %.2fms (read %.2fms, write-back %.2fms) "
+      "[%8.3fs] GC(%zu) pause %s %.2fms (read %.2fms, write-back %.2fms) "
       "copied %s / %llu objects, promoted %s, refs %llu, steals %llu",
       static_cast<double>(cycle.start_ns) / 1e9, id,
+      cycle.is_major != 0 ? "major" : "minor",
       static_cast<double>(cycle.pause_ns) / 1e6,
       static_cast<double>(cycle.read_phase_ns) / 1e6,
       static_cast<double>(cycle.writeback_phase_ns) / 1e6,
@@ -68,6 +69,11 @@ std::string FormatGcCycle(size_t id, const GcCycleStats& cycle) {
                   static_cast<unsigned long long>(cycle.cache_fault_denials));
     out += line;
   }
+  if (cycle.survivor_overflow_bytes > 0) {
+    std::snprintf(line, sizeof(line), " | survivor overflow %s promoted early",
+                  FormatSiBytes(cycle.survivor_overflow_bytes).c_str());
+    out += line;
+  }
   if (cycle.degraded_mode != 0) {
     out += " | DEGRADED: sync flush, cache-line stores";
   }
@@ -91,6 +97,11 @@ void PrintGcSummary(Vm* vm, std::FILE* out) {
   std::fprintf(out, "GC summary (%s collector, %u threads)\n", vm->collector().name(),
                vm->options().gc.gc_threads);
   std::fprintf(out, "  collections:     %zu\n", cycles.size());
+  if (totals.is_major > 0) {
+    std::fprintf(out, "  major cycles:    %llu (tenure threshold %llu)\n",
+                 static_cast<unsigned long long>(totals.is_major),
+                 static_cast<unsigned long long>(totals.tenure_threshold_used));
+  }
   std::fprintf(out, "  total pause:     %.2f ms\n", static_cast<double>(totals.pause_ns) / 1e6);
   if (!cycles.empty()) {
     std::fprintf(out, "  mean / max:      %.2f / %.2f ms\n",

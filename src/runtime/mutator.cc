@@ -10,21 +10,39 @@ constexpr uint64_t kAllocCpuNs = 9;    // Bump-pointer + size computation.
 constexpr uint64_t kBarrierCpuNs = 3;  // Write-barrier filter.
 }  // namespace
 
-Address Mutator::Allocate(KlassId klass_id, uint64_t array_length) {
-  const Klass& klass = vm_->heap_->klasses().Get(klass_id);
-  const size_t size = obj::SizeOf(klass, array_length);
-  if (size > vm_->heap_->region_bytes() / 2) {
-    return AllocateHumongous(klass, array_length, size);
+Address Mutator::Allocate(const AllocRequest& request) {
+  const Klass& klass = vm_->heap_->klasses().Get(request.klass);
+  const size_t size = obj::SizeOf(klass, request.array_length);
+  const GenerationalOptions& gen = vm_->options().gc.generational;
+  if (gen.enabled && size <= vm_->heap_->region_bytes()) {
+    const size_t threshold = gen.large_object_threshold != 0
+                                 ? gen.large_object_threshold
+                                 : vm_->heap_->region_bytes() / 8;
+    if (request.large_object || size >= threshold) {
+      return AllocateLargeObject(klass, request.array_length, size);
+    }
   }
+  if (size > vm_->heap_->region_bytes() / 2) {
+    return AllocateHumongous(klass, request.array_length, size);
+  }
+  return AllocateSmall(klass, request.array_length, size);
+}
+
+Address Mutator::Initialize(Address addr, const Klass& klass, uint64_t array_length,
+                            size_t size) {
+  obj::InitializeObject(addr, klass, array_length);
+  MemoryDevice* dev = vm_->heap_->DeviceFor(vm_->heap_->RegionFor(addr));
+  dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
+  vm_->clock_.Advance(kAllocCpuNs);
+  return addr;
+}
+
+Address Mutator::AllocateSmall(const Klass& klass, uint64_t array_length, size_t size) {
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (tlab_ != nullptr) {
       const Address addr = tlab_->Allocate(size);
       if (addr != kNullAddress) {
-        obj::InitializeObject(addr, klass, array_length);
-        MemoryDevice* dev = vm_->heap_->DeviceFor(tlab_);
-        dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
-        vm_->clock_.Advance(kAllocCpuNs);
-        return addr;
+        return Initialize(addr, klass, array_length, size);
       }
     }
     tlab_ = vm_->heap_->AllocateRegion(RegionType::kEden);
@@ -44,11 +62,7 @@ Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, si
     if (region != nullptr) {
       const Address addr = region->Allocate(size);
       NVMGC_CHECK(addr != kNullAddress);
-      obj::InitializeObject(addr, klass, array_length);
-      MemoryDevice* dev = vm_->heap_->DeviceFor(region);
-      dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
-      vm_->clock_.Advance(kAllocCpuNs);
-      return addr;
+      return Initialize(addr, klass, array_length, size);
     }
     vm_->CollectNow();
     ++gcs_triggered_;
@@ -56,16 +70,34 @@ Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, si
   NVMGC_CHECK(false);  // No region available for a humongous allocation.
 }
 
-Address Mutator::AllocateRegular(KlassId klass) { return Allocate(klass, 0); }
+Address Mutator::AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size) {
+  // Large objects are tenured in place: never copied, reclaimed whole-region
+  // by the old-region sweep once every object in the region is dead.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Address addr = vm_->heap_->AllocateLarge(size);
+    if (addr != kNullAddress) {
+      return Initialize(addr, klass, array_length, size);
+    }
+    // Free-list exhausted: CollectNow escalates to a major cycle when the
+    // heap is this full, which is what frees old regions.
+    vm_->CollectNow();
+    ++gcs_triggered_;
+  }
+  NVMGC_CHECK(false);  // No region available for a large-object allocation.
+}
+
+Address Mutator::AllocateRegular(KlassId klass) {
+  return Allocate(AllocRequest{klass, 0, false});
+}
 
 Address Mutator::AllocateRefArray(KlassId klass, uint64_t length) {
   NVMGC_DCHECK(vm_->heap_->klasses().Get(klass).kind == KlassKind::kRefArray);
-  return Allocate(klass, length);
+  return Allocate(AllocRequest{klass, length, false});
 }
 
 Address Mutator::AllocateByteArray(KlassId klass, uint64_t length) {
   NVMGC_DCHECK(vm_->heap_->klasses().Get(klass).kind == KlassKind::kByteArray);
-  return Allocate(klass, length);
+  return Allocate(AllocRequest{klass, length, false});
 }
 
 void Mutator::WriteRef(Address object, size_t slot_index, Address value) {

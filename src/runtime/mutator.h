@@ -15,14 +15,35 @@ namespace nvmgc {
 
 class Vm;
 
+// The one argument every allocation entry point takes. `klass` selects the
+// shape (regular / ref-array / byte-array); `array_length` is ignored for
+// regular klasses. `large_object` hints that the allocation belongs in the
+// large-object space even below the size threshold — meaningful only on a
+// generational heap, ignored elsewhere. Size-based routing (humongous, and
+// the generational large-object threshold) applies regardless of the hint.
+struct AllocRequest {
+  KlassId klass = 0;
+  uint64_t array_length = 0;
+  bool large_object = false;
+};
+
 class Mutator {
  public:
   explicit Mutator(Vm* vm) : vm_(vm) {}
 
   // --- Allocation (may trigger GC; returned address is the new object) ---
-  Address AllocateRegular(KlassId klass);
-  Address AllocateRefArray(KlassId klass, uint64_t length);
-  Address AllocateByteArray(KlassId klass, uint64_t length);
+  // The generation-aware entry point: routes to the TLAB (eden), the
+  // large-object space (generational heaps, at the configured threshold or on
+  // request), or a humongous region (above region_bytes / 2).
+  Address Allocate(const AllocRequest& request);
+
+  // Deprecated shims, kept for one release: thin wrappers over
+  // Allocate(AllocRequest).
+  [[deprecated("use Allocate(AllocRequest) instead")]] Address AllocateRegular(KlassId klass);
+  [[deprecated("use Allocate(AllocRequest) instead")]] Address AllocateRefArray(
+      KlassId klass, uint64_t length);
+  [[deprecated("use Allocate(AllocRequest) instead")]] Address AllocateByteArray(
+      KlassId klass, uint64_t length);
 
   // --- Field access (charged; WriteRef applies the write barrier) ---
   void WriteRef(Address object, size_t slot_index, Address value);
@@ -39,8 +60,10 @@ class Mutator {
   void ResetTlab() { tlab_ = nullptr; }
 
  private:
-  Address Allocate(KlassId klass, uint64_t array_length);
+  Address AllocateSmall(const Klass& klass, uint64_t array_length, size_t size);
   Address AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size);
+  Address AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size);
+  Address Initialize(Address addr, const Klass& klass, uint64_t array_length, size_t size);
 
   Vm* vm_;
   Region* tlab_ = nullptr;

@@ -1,6 +1,8 @@
 #include "src/runtime/vm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "src/gc/old_reclaim.h"
@@ -14,6 +16,30 @@ namespace nvmgc {
 Vm::Vm(const VmOptions& options) : options_(options) {
   const std::string gc_error = options.gc.Validate();
   NVMGC_CHECK_MSG(gc_error.empty(), gc_error.c_str());
+  if (options_.gc.generational.enabled) {
+    // Derive the young-generation geometry before the heap is mapped: the
+    // young generation (eden + survivor semispaces) lives in the DRAM cache
+    // arena, so dram_cache_regions grows by the young budget and the
+    // write-cache staging capacity the config asked for is untouched.
+    HeapConfig& h = options_.heap;
+    const GenerationalOptions& gen = options_.gc.generational;
+    const size_t heap_bytes = static_cast<size_t>(h.region_bytes) * h.heap_regions;
+    const size_t young_bytes = gen.young_gen_bytes != 0 ? gen.young_gen_bytes : heap_bytes / 4;
+    const uint32_t young_regions = static_cast<uint32_t>(young_bytes / h.region_bytes);
+    NVMGC_CHECK_MSG(young_regions >= 2,
+                    "generational young generation too small: young_gen_bytes must cover at "
+                    "least two regions (one eden + one survivor) — raise "
+                    "GenerationalOptions::young_gen_bytes or shrink HeapConfig::region_bytes");
+    const uint32_t survivor = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(young_regions * gen.survivor_fraction)));
+    NVMGC_CHECK_MSG(survivor < young_regions,
+                    "generational survivor space swallows the whole young generation: lower "
+                    "GenerationalOptions::survivor_fraction or raise young_gen_bytes");
+    h.generational = true;
+    h.survivor_regions = survivor;
+    h.eden_regions = young_regions - survivor;
+    h.dram_cache_regions += young_regions;
+  }
   if (options_.gc.durability.enabled) {
     NVMGC_CHECK_MSG(options_.heap.heap_device == DeviceKind::kNvm,
                     "durability requires NVM-backed tenured regions: set "
@@ -56,9 +82,11 @@ Vm::Vm(const VmOptions& options) : options_(options) {
   timeline_ = std::make_unique<DeviceTimeline>(heap_device_.get());
   collector_->set_timeline(timeline_.get());
   if (options.gc.adaptive.enabled) {
-    policy_ = std::make_unique<PolicyEngine>(options.gc, heap_->heap_arena_bytes(),
-                                             heap_->cache_arena_bytes(),
-                                             heap_device_->profile());
+    const bool gen = options_.gc.generational.enabled;
+    policy_ = std::make_unique<PolicyEngine>(
+        options_.gc, heap_->heap_arena_bytes(), heap_->cache_arena_bytes(),
+        heap_device_->profile(), gen ? heap_->eden_quota() : 0,
+        gen ? options_.heap.dram_cache_regions - options_.heap.survivor_regions : 0);
     // The engine's initial tuning resolves the 0 "keep" sentinels to concrete
     // values; install it so the first pause already runs under policy control.
     collector_->ApplyTuning(policy_->tuning());
@@ -71,6 +99,13 @@ Vm::~Vm() = default;
 Mutator* Vm::CreateMutator() {
   mutators_.push_back(std::make_unique<Mutator>(this));
   return mutators_.back().get();
+}
+
+Address Vm::Allocate(const AllocRequest& request) {
+  if (default_mutator_ == nullptr) {
+    default_mutator_ = CreateMutator();
+  }
+  return default_mutator_->Allocate(request);
 }
 
 RootHandle Vm::NewRoot(Address value) {
@@ -115,8 +150,19 @@ std::vector<Address*> Vm::RootSlots() {
 }
 
 GcCycleStats Vm::CollectNow() {
+  GcKind kind = GcKind::kMinor;
+  if (options_.gc.generational.enabled &&
+      heap_->free_region_count() < options_.heap.heap_regions / 4) {
+    // Old-generation pressure: escalate to a major cycle that also evacuates
+    // (and thereby compacts) the old regions.
+    kind = GcKind::kMajor;
+  }
+  return CollectNow(kind);
+}
+
+GcCycleStats Vm::CollectNow(GcKind kind) {
   const DeviceCounters dram_before = dram_device_->counters();
-  const GcCycleStats cycle = collector_->Collect(RootSlots(), &clock_);
+  const GcCycleStats cycle = collector_->Collect(RootSlots(), &clock_, kind);
   const DeviceCounters dram_delta = dram_device_->counters() - dram_before;
 
   // Per-pause snapshot: the merged cycle under stable dotted names, plus the
@@ -127,7 +173,19 @@ GcCycleStats Vm::CollectNow() {
   metrics_.RecordHistogram("gc.pause_ns", cycle.pause_ns);
   metrics_.RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
   metrics_.RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
+  // Kind-split histograms: non-generational runs only ever populate the
+  // minor tracks, so percentile dashboards stay comparable across modes.
+  const std::string kind_prefix = std::string("gc.pause.") + GcKindName(kind) + ".";
+  metrics_.RecordHistogram(kind_prefix + "pause_ns", cycle.pause_ns);
+  metrics_.RecordHistogram(kind_prefix + "read_phase_ns", cycle.read_phase_ns);
+  metrics_.RecordHistogram(kind_prefix + "writeback_phase_ns", cycle.writeback_phase_ns);
   metrics_.RecordPause(std::move(snap));
+  if (options_.gc.generational.enabled) {
+    // Per-cycle value, not a sum — a gauge, refreshed every pause.
+    metrics_.SetGauge("gen.tenure_threshold", cycle.tenure_threshold_used);
+    metrics_.SetGauge("gen.eden_quota_regions", heap_->eden_quota());
+    metrics_.SetGauge("gen.survivor_regions", heap_->config().survivor_regions);
+  }
   ExportLifetimeMetrics();
 
   // Feedback step: turn this pause's signals into the next pause's tuning.

@@ -28,8 +28,13 @@
 namespace nvmgc {
 
 class Mutator;
+struct AllocRequest;
 
 struct VmOptions {
+  // Heap geometry. With gc.generational.enabled the Vm derives the young-
+  // generation split before constructing the heap: eden_regions and the
+  // survivor quota come from GenerationalOptions, and dram_cache_regions
+  // grows by the young budget so write-cache staging capacity is preserved.
   HeapConfig heap;
   GcOptions gc;
   // Observability: record GC phase spans into the tracer (off by default —
@@ -53,6 +58,11 @@ class Vm {
   // Mutator lifecycle. Mutators are owned by the Vm.
   Mutator* CreateMutator();
 
+  // Generation-aware allocation through the Vm's internal mutator (created on
+  // first use). Convenient for single-threaded drivers; workloads that model
+  // several application threads should create explicit Mutators.
+  Address Allocate(const AllocRequest& request);
+
   // --- GC roots (the analog of thread stacks / globals) ---
   RootHandle NewRoot(Address value = kNullAddress);
   void SetRoot(RootHandle handle, Address value);
@@ -60,10 +70,13 @@ class Vm {
   void ReleaseRoot(RootHandle handle);
   std::vector<Address*> RootSlots();
 
-  // Triggers a stop-the-world young collection immediately. When the heap is
-  // running low afterwards, a concurrent-cycle analog reclaims wholly-dead
-  // old regions (see src/gc/old_reclaim.h).
+  // Triggers a stop-the-world collection immediately. The no-argument form
+  // picks the kind: minor by default, escalated to major on a generational
+  // heap once free regions fall below a quarter of the heap. When the heap is
+  // still running low afterwards, a concurrent-cycle analog reclaims
+  // wholly-dead old (and large-object) regions (see src/gc/old_reclaim.h).
   GcCycleStats CollectNow();
+  GcCycleStats CollectNow(GcKind kind);
 
   uint64_t old_reclaim_count() const { return old_reclaim_count_; }
 
@@ -121,6 +134,7 @@ class Vm {
   SimClock clock_;
 
   uint64_t old_reclaim_count_ = 0;
+  Mutator* default_mutator_ = nullptr;  // Lazily created by Allocate().
   std::deque<Address> root_cells_;
   std::vector<RootHandle> free_roots_;
   std::vector<bool> root_active_;

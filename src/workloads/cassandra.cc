@@ -21,24 +21,24 @@ CassandraService::CassandraService(Vm* vm, const CassandraConfig& config)
   request_klass_ = klasses.RegisterRegular("cassandra.Request", 1, 48);
   table_ = std::make_unique<ManagedTable>(vm, mutator_, config.rows);
   for (uint64_t i = 0; i < config.rows; ++i) {
-    table_->Set(i, mutator_->AllocateByteArray(row_klass_, config.row_bytes));
+    table_->Set(i, mutator_->Allocate({row_klass_, config.row_bytes}));
   }
 }
 
 void CassandraService::ServeRead(uint64_t row) {
-  const Address request = mutator_->AllocateRegular(request_klass_);
+  const Address request = mutator_->Allocate({request_klass_});
   const Address data = table_->Get(row);
   mutator_->WriteRef(request, 0, data);
   mutator_->ReadPayload(data, config_.row_bytes);
   // Response buffer: copy of the row, immediately garbage after the reply.
-  const Address response = mutator_->AllocateByteArray(row_klass_, config_.row_bytes);
+  const Address response = mutator_->Allocate({row_klass_, config_.row_bytes});
   mutator_->WritePayload(response, config_.row_bytes);
 }
 
 void CassandraService::ServeWrite(uint64_t row) {
-  const Address request = mutator_->AllocateRegular(request_klass_);
+  const Address request = mutator_->Allocate({request_klass_});
   // Cassandra rows are immutable: a write allocates a replacement row.
-  const Address fresh = mutator_->AllocateByteArray(row_klass_, config_.row_bytes);
+  const Address fresh = mutator_->Allocate({row_klass_, config_.row_bytes});
   mutator_->WriteRef(request, 0, fresh);
   mutator_->WritePayload(fresh, config_.row_bytes);
   table_->Set(row, fresh);  // Previous row becomes garbage.

@@ -44,7 +44,7 @@ Graph BuildGraph(Vm* vm, Mutator* m, const SparkConfig& config, const char* pref
   g.vertices = std::make_unique<ManagedTable>(vm, m, config.vertices);
 
   for (uint64_t i = 0; i < config.vertices; ++i) {
-    const Address v = m->AllocateRegular(g.vertex_klass);
+    const Address v = m->Allocate({g.vertex_klass});
     WriteDoubleAt(klasses, v, 0, static_cast<double>(i));
     g.vertices->Set(i, v);
   }
@@ -53,7 +53,7 @@ Graph BuildGraph(Vm* vm, Mutator* m, const SparkConfig& config, const char* pref
   Random rng(config.seed ^ 0xabcdef);
   for (uint64_t i = 0; i < config.vertices; ++i) {
     const uint64_t degree = 1 + rng.NextBelow(config.avg_degree * 2);
-    const Address adjacency = m->AllocateRefArray(g.adjacency_klass, degree);
+    const Address adjacency = m->Allocate({g.adjacency_klass, degree});
     for (uint64_t e = 0; e < degree; ++e) {
       m->WriteRef(adjacency, e, g.vertices->Get(zipf.Next()));
     }
@@ -89,7 +89,7 @@ void PropagateIteration(Vm* vm, Mutator* m, Graph* g, Combine combine) {
         }
       }
     }
-    const Address fresh = m->AllocateRegular(g->value_klass);
+    const Address fresh = m->Allocate({g->value_klass});
     WriteDoubleAt(klasses, fresh, 0, acc);
     m->WritePayload(fresh, 8);
     m->WriteRef(v, 1, fresh);  // Old->young edge once vertices are promoted.
@@ -115,7 +115,7 @@ ManagedTable::ManagedTable(Vm* vm, Mutator* mutator, uint64_t entries, uint32_t 
   const uint64_t segments = (entries + segment_entries - 1) / segment_entries;
   for (uint64_t s = 0; s < segments; ++s) {
     const uint64_t len = std::min<uint64_t>(segment_entries, entries - s * segment_entries);
-    segments_.push_back(GlobalRoot(*vm, mutator->AllocateRefArray(segment_klass_, len)));
+    segments_.push_back(GlobalRoot(*vm, mutator->Allocate({segment_klass_, len})));
   }
 }
 
@@ -140,7 +140,7 @@ WorkloadResult RunPageRank(Vm* vm, const SparkConfig& config) {
   const KlassTable& klasses = vm->heap().klasses();
   // Initial rank 1/N for every vertex.
   for (uint64_t i = 0; i < config.vertices; ++i) {
-    const Address rank = m->AllocateRegular(g.value_klass);
+    const Address rank = m->Allocate({g.value_klass});
     WriteDoubleAt(klasses, rank, 0, 1.0 / config.vertices);
     m->WriteRef(g.vertices->Get(i), 1, rank);
   }
@@ -190,7 +190,7 @@ WorkloadResult RunKMeans(Vm* vm, const SparkConfig& config) {
   Random rng(config.seed);
   ManagedTable points(vm, m, config.vertices);
   for (uint64_t i = 0; i < config.vertices; ++i) {
-    const Address p = m->AllocateRegular(point_klass);
+    const Address p = m->Allocate({point_klass});
     for (size_t d = 0; d < 4; ++d) {
       WriteDoubleAt(klasses, p, d, rng.NextDouble());
     }
@@ -223,7 +223,7 @@ WorkloadResult RunKMeans(Vm* vm, const SparkConfig& config) {
         }
       }
       // Immutable per-iteration assignment record (previous one dies).
-      const Address a = m->AllocateRegular(assign_klass);
+      const Address a = m->Allocate({assign_klass});
       WriteDoubleAt(klasses, a, 0, static_cast<double>(best_c));
       WriteDoubleAt(klasses, a, 1, best);
       m->WritePayload(a, 16);

@@ -69,14 +69,14 @@ void SyntheticApp::AttachSurvivor(Address object) {
 void SyntheticApp::AllocateOne() {
   Address object = kNullAddress;
   if (rng_.NextBool(profile_.small_object_fraction)) {
-    object = mutator_->AllocateRegular(node_klass_);
+    object = mutator_->Allocate({node_klass_});
   } else if (rng_.NextBool(profile_.ref_array_fraction)) {
     const uint64_t length =
         rng_.NextInRange(profile_.array_bytes_min, profile_.array_bytes_max) / 8;
-    object = mutator_->AllocateRefArray(ref_array_klass_, std::max<uint64_t>(1, length));
+    object = mutator_->Allocate({ref_array_klass_, std::max<uint64_t>(1, length)});
   } else {
     const uint64_t bytes = rng_.NextInRange(profile_.array_bytes_min, profile_.array_bytes_max);
-    object = mutator_->AllocateByteArray(byte_array_klass_, std::max<uint64_t>(8, bytes));
+    object = mutator_->Allocate({byte_array_klass_, std::max<uint64_t>(8, bytes)});
   }
   allocated_bytes_ += obj::SizeOfAt(object, vm_->heap().klasses());
   if (rng_.NextBool(profile_.survival_fraction)) {

@@ -180,9 +180,9 @@ void RunLiveGraphWorkload(Vm* vm) {
   const KlassId refs = vm->heap().klasses().RegisterRefArray("Object[]");
   const KlassId blob = vm->heap().klasses().RegisterByteArray("byte[]");
   constexpr size_t kNodes = 1536;
-  GlobalRoot table(*vm, m->AllocateRefArray(refs, kNodes));
+  GlobalRoot table(*vm, m->Allocate({refs, kNodes}));
   for (size_t i = 0; i < kNodes; ++i) {
-    m->WriteRef(table.Get(), i, m->AllocateByteArray(blob, 1024));
+    m->WriteRef(table.Get(), i, m->Allocate({blob, 1024}));
   }
   vm->CollectNow();
   vm->CollectNow();

@@ -138,7 +138,7 @@ class ChainWorkload {
   }
 
   Address NewNode(uint64_t id) {
-    const Address node = mutator_->AllocateRegular(klass_);
+    const Address node = mutator_->Allocate({klass_});
     const Klass& k = vm_->heap().klasses().Get(klass_);
     std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(node, k)), &id, sizeof(id));
     return node;

@@ -61,7 +61,7 @@ class GraphWorkload {
   }
 
   Address NewNode() {
-    const Address node = mutator_->AllocateRegular(node_klass_);
+    const Address node = mutator_->Allocate({node_klass_});
     const uint64_t id = next_id_++;
     WriteId(node, id);
     shadow_[id] = {0, 0};

@@ -371,6 +371,87 @@ TEST(GcOptionsDeathTest, VmConstructorRejectsInvalidOptions) {
   EXPECT_DEATH(Vm vm(o), "prefetch_header_map requires use_header_map");
 }
 
+TEST(GcOptionsValidateTest, GenerationalPresetAndBuilderAreValid) {
+  const GcOptions preset = GenerationalGcOptions(CollectorKind::kG1, 8);
+  EXPECT_TRUE(preset.valid());
+  EXPECT_TRUE(preset.generational.enabled);
+  EXPECT_TRUE(preset.use_write_cache);  // "+all" base under the young gen.
+  const GcOptions built = GcOptionsBuilder().Generational().Build();
+  EXPECT_TRUE(built.generational.enabled);
+  const GcOptions off = GcOptionsBuilder(preset).Generational(false).Build();
+  EXPECT_FALSE(off.generational.enabled);
+}
+
+TEST(GcOptionsValidateTest, GenerationalOptionsOverload) {
+  GenerationalOptions gen;
+  gen.enabled = true;
+  gen.young_gen_bytes = 8 * 1024 * 1024;
+  gen.survivor_fraction = 0.25;
+  gen.tenure_threshold = 5;
+  gen.large_object_threshold = 16 * 1024;
+  const GcOptions o = GcOptionsBuilder().Generational(gen).Build();
+  EXPECT_EQ(o.generational.young_gen_bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(o.generational.survivor_fraction, 0.25);
+  EXPECT_EQ(o.generational.tenure_threshold, 5u);
+  EXPECT_EQ(o.generational.large_object_threshold, 16u * 1024);
+}
+
+TEST(GcOptionsValidateTest, RejectsGenerationalKnobsWhileDisabled) {
+  {
+    GcOptions o;
+    o.generational.young_gen_bytes = 1024 * 1024;
+    ExpectError(o, "generational sub-options are set but generational.enabled is false",
+                "Generational()");
+  }
+  {
+    GcOptions o;
+    o.generational.tenure_threshold = 7;
+    ExpectError(o, "generational sub-options", "Generational()");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsBadSurvivorFraction) {
+  for (const double bad : {0.0, -0.1, 0.51}) {
+    GcOptions o;
+    o.generational.enabled = true;
+    o.generational.survivor_fraction = bad;
+    ExpectError(o, "generational.survivor_fraction", "survivor_fraction");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsBadTenureThreshold) {
+  for (const uint32_t bad : {0u, 16u, 100u}) {
+    GcOptions o;
+    o.generational.enabled = true;
+    o.generational.tenure_threshold = bad;
+    ExpectError(o, "generational.tenure_threshold", "tenure_threshold");
+  }
+}
+
+TEST(GcOptionsValidateTest, RejectsTinyLargeObjectThreshold) {
+  GcOptions o;
+  o.generational.enabled = true;
+  o.generational.large_object_threshold = 512;
+  ExpectError(o, "generational.large_object_threshold", "large_object_threshold");
+}
+
+TEST(GcOptionsDeathTest, VmRejectsDegenerateYoungGeneration) {
+  // One region cannot hold both an eden and a survivor space; the geometry
+  // check lives in the Vm constructor because it needs HeapConfig.
+  VmOptions o;
+  o.heap.region_bytes = 64 * 1024;
+  o.heap.heap_regions = 64;
+  o.heap.dram_cache_regions = 8;
+  o.heap.eden_regions = 8;
+  GenerationalOptions gen;
+  gen.enabled = true;
+  gen.young_gen_bytes = 64 * 1024;  // Exactly one region.
+  o.gc = GcOptionsBuilder(GenerationalGcOptions(CollectorKind::kG1, 4))
+             .Generational(gen)
+             .Build();
+  EXPECT_DEATH(Vm vm(o), "young generation too small");
+}
+
 TEST(GcOptionsDeathTest, VmRejectsDurabilityOnDramHeap) {
   // The enabled/device coherence check lives in the Vm constructor because
   // GcOptions cannot see the HeapConfig.

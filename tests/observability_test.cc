@@ -163,9 +163,9 @@ TEST(GcTracerTest, TracedGcCycleProducesNestedPhaseSpans) {
   Mutator* m = vm.CreateMutator();
   const KlassId refs = vm.heap().klasses().RegisterRefArray("Object[]");
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 64);
-  GlobalRoot table(vm, m->AllocateRefArray(refs, 64));
+  GlobalRoot table(vm, m->Allocate({refs, 64}));
   for (size_t i = 0; i < 64; ++i) {
-    m->WriteRef(table.Get(), i, m->AllocateRegular(node));
+    m->WriteRef(table.Get(), i, m->Allocate({node}));
   }
   vm.CollectNow();
   vm.CollectNow();
@@ -215,7 +215,7 @@ TEST(GcTracerTest, WriteChromeTraceProducesLoadableJson) {
   Vm vm(TracedVm());
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 64);
-  GlobalRoot keep(vm, m->AllocateRegular(node));
+  GlobalRoot keep(vm, m->Allocate({node}));
   vm.CollectNow();
 
   const std::string path = testing::TempDir() + "/nvmgc_trace_test.json";

@@ -31,7 +31,7 @@ TEST(OldReclaimTest, DeadOldRegionsAreFreed) {
   // Promote a batch of objects to old, then drop their roots.
   std::vector<RootHandle> roots;
   for (int i = 0; i < 2000; ++i) {
-    roots.push_back(vm.NewRoot(m->AllocateRegular(node)));
+    roots.push_back(vm.NewRoot(m->Allocate({node})));
   }
   vm.CollectNow();
   vm.CollectNow();  // tenure_age 1: survivors promote here.
@@ -49,7 +49,7 @@ TEST(OldReclaimTest, LiveOldRegionsSurvive) {
   Vm vm(SmallVm());
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 32);
-  const RootHandle keeper = vm.NewRoot(m->AllocateRegular(node));
+  const RootHandle keeper = vm.NewRoot(m->Allocate({node}));
   vm.CollectNow();
   vm.CollectNow();
   ASSERT_TRUE(vm.heap().RegionFor(vm.GetRoot(keeper))->is_old_like());
@@ -63,8 +63,8 @@ TEST(OldReclaimTest, TransitivelyLiveOldObjectsKept) {
   Vm vm(SmallVm());
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 32);
-  Address a = m->AllocateRegular(node);
-  Address b = m->AllocateRegular(node);
+  Address a = m->Allocate({node});
+  Address b = m->Allocate({node});
   const RootHandle root = vm.NewRoot(a);
   const RootHandle temp = vm.NewRoot(b);
   m->WriteRef(a, 0, b);
@@ -85,13 +85,13 @@ TEST(OldReclaimTest, StaleRemsetEntriesPurged) {
   // Old object pointing at a young object -> remset entry from the old region.
   std::vector<RootHandle> batch;
   for (int i = 0; i < 2000; ++i) {
-    batch.push_back(vm.NewRoot(m->AllocateRegular(node)));
+    batch.push_back(vm.NewRoot(m->Allocate({node})));
   }
   vm.CollectNow();
   vm.CollectNow();
   Address old_obj = vm.GetRoot(batch[0]);
   ASSERT_TRUE(vm.heap().RegionFor(old_obj)->is_old_like());
-  Address young = m->AllocateRegular(node);
+  Address young = m->Allocate({node});
   const RootHandle young_root = vm.NewRoot(young);
   m->WriteRef(old_obj, 0, young);
   // Kill the old batch (including the referencing object).
@@ -120,7 +120,7 @@ TEST(OldReclaimTest, VmTriggersReclaimUnderPressure) {
   // would exhaust the 256-region (16 MiB) heap.
   std::deque<RootHandle> window;
   for (int i = 0; i < 350000; ++i) {
-    window.push_back(vm.NewRoot(m->AllocateRegular(node)));
+    window.push_back(vm.NewRoot(m->Allocate({node})));
     if (window.size() > 30000) {
       vm.ReleaseRoot(window.front());
       window.pop_front();

@@ -50,7 +50,7 @@ TEST(VmTest, ClockAdvancesWithWork) {
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 64);
   const uint64_t before = vm.now_ns();
   for (int i = 0; i < 100; ++i) {
-    m->AllocateRegular(node);
+    m->Allocate({node});
   }
   EXPECT_GT(vm.now_ns(), before);
   EXPECT_EQ(vm.app_time_ns() + vm.gc_time_ns(), vm.now_ns());
@@ -60,7 +60,7 @@ TEST(MutatorTest, AllocationInitializesObjects) {
   Vm vm(SmallVm());
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 3, 8);
-  const Address a = m->AllocateRegular(node);
+  const Address a = m->Allocate({node});
   EXPECT_EQ(obj::KlassIdOf(a), node);
   EXPECT_FALSE(obj::IsForwarded(obj::LoadMark(a)));
   for (size_t i = 0; i < 3; ++i) {
@@ -73,8 +73,8 @@ TEST(MutatorTest, ArraysRememberTheirLength) {
   Mutator* m = vm.CreateMutator();
   const KlassId refs = vm.heap().klasses().RegisterRefArray("Object[]");
   const KlassId bytes = vm.heap().klasses().RegisterByteArray("byte[]");
-  const Address ra = m->AllocateRefArray(refs, 17);
-  const Address ba = m->AllocateByteArray(bytes, 100);
+  const Address ra = m->Allocate({refs, 17});
+  const Address ba = m->Allocate({bytes, 100});
   EXPECT_EQ(obj::ArrayLength(ra), 17u);
   EXPECT_EQ(obj::ArrayLength(ba), 100u);
   m->WriteRef(ra, 16, ba);
@@ -86,7 +86,7 @@ TEST(MutatorTest, HumongousObjectsGetDedicatedRegions) {
   Mutator* m = vm.CreateMutator();
   const KlassId bytes = vm.heap().klasses().RegisterByteArray("byte[]");
   // Larger than half a region -> humongous path.
-  const Address big = m->AllocateByteArray(bytes, 48 * 1024);
+  const Address big = m->Allocate({bytes, 48 * 1024});
   Region* region = vm.heap().RegionFor(big);
   EXPECT_EQ(region->type(), RegionType::kHumongous);
   // Humongous objects are never evacuated.
@@ -100,10 +100,10 @@ TEST(MutatorTest, HumongousReferencesYoungViaRemset) {
   Mutator* m = vm.CreateMutator();
   const KlassId refs = vm.heap().klasses().RegisterRefArray("Object[]");
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 8);
-  const Address big = m->AllocateRefArray(refs, 5000);  // Humongous ref array.
+  const Address big = m->Allocate({refs, 5000});  // Humongous ref array.
   ASSERT_EQ(vm.heap().RegionFor(big)->type(), RegionType::kHumongous);
   const RootHandle root = vm.NewRoot(big);
-  const Address young = m->AllocateRegular(node);
+  const Address young = m->Allocate({node});
   m->WriteRef(big, 123, young);  // old-like -> young: must hit the barrier.
   vm.CollectNow();               // young must survive through the remset.
   const Address moved = m->ReadRef(big, 123);
@@ -117,7 +117,7 @@ TEST(MutatorTest, AllocationTriggersGcWhenEdenExhausted) {
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 240);
   for (int i = 0; i < 20000; ++i) {
-    m->AllocateRegular(node);
+    m->Allocate({node});
   }
   EXPECT_GT(m->gcs_triggered(), 0u);
   EXPECT_EQ(vm.gc_count(), m->gcs_triggered());
@@ -127,12 +127,12 @@ TEST(GcReportTest, FormatsCycleAndSummary) {
   Vm vm(SmallVm());
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 16);
-  const RootHandle root = vm.NewRoot(m->AllocateRegular(node));
+  const RootHandle root = vm.NewRoot(m->Allocate({node}));
   vm.CollectNow();
   ASSERT_EQ(vm.gc_count(), 1u);
   const std::string line = FormatGcCycle(0, vm.gc_stats().cycles()[0]);
   EXPECT_NE(line.find("GC(0)"), std::string::npos);
-  EXPECT_NE(line.find("pause young"), std::string::npos);
+  EXPECT_NE(line.find("pause minor"), std::string::npos);
   EXPECT_NE(line.find("objects"), std::string::npos);
 
   char buf[8192] = {0};
@@ -151,7 +151,7 @@ TEST(GcReportTest, SummaryIncludesOptimizationEffectiveness) {
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 1, 16);
   std::vector<RootHandle> roots;
   for (int i = 0; i < 3000; ++i) {
-    roots.push_back(vm.NewRoot(m->AllocateRegular(node)));
+    roots.push_back(vm.NewRoot(m->Allocate({node})));
   }
   vm.CollectNow();
   char buf[8192] = {0};
@@ -167,7 +167,7 @@ TEST(GlobalRootTest, ReleasesItsSlotOnDestruction) {
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 32);
   {
-    GlobalRoot root(vm, m->AllocateRegular(node));
+    GlobalRoot root(vm, m->Allocate({node}));
     EXPECT_TRUE(root.attached());
     EXPECT_EQ(vm.RootSlots().size(), 1u);
     EXPECT_EQ(obj::KlassIdOf(root.Get()), node);
@@ -215,9 +215,9 @@ TEST(VmTest, DramHeapConfigWorksEndToEnd) {
   Vm vm(SmallVm(DeviceKind::kDram));
   Mutator* m = vm.CreateMutator();
   const KlassId node = vm.heap().klasses().RegisterRegular("N", 0, 32);
-  const RootHandle root = vm.NewRoot(m->AllocateRegular(node));
+  const RootHandle root = vm.NewRoot(m->Allocate({node}));
   for (int i = 0; i < 50000; ++i) {
-    m->AllocateRegular(node);
+    m->Allocate({node});
   }
   EXPECT_GT(vm.gc_count(), 0u);
   EXPECT_EQ(obj::KlassIdOf(vm.GetRoot(root)), node);

@@ -62,7 +62,7 @@ TEST(SparkSemanticsTest, ConnectedComponentsLabelsNeverIncrease) {
   constexpr uint64_t kN = 4000;
   ManagedTable vertices(&vm, m, kN);
   for (uint64_t i = 0; i < kN; ++i) {
-    const Address v = m->AllocateRegular(vertex_klass);
+    const Address v = m->Allocate({vertex_klass});
     const Klass& k = klasses.Get(vertex_klass);
     const double id = static_cast<double>(i);
     std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(v, k)), &id, sizeof(id));
@@ -70,13 +70,13 @@ TEST(SparkSemanticsTest, ConnectedComponentsLabelsNeverIncrease) {
   }
   // Ring topology: i -> i+1, so label 0 can flood the whole ring.
   for (uint64_t i = 0; i < kN; ++i) {
-    const Address adjacency = m->AllocateRefArray(adjacency_klass, 1);
+    const Address adjacency = m->Allocate({adjacency_klass, 1});
     m->WriteRef(adjacency, 0, vertices.Get((i + 1) % kN));
     m->WriteRef(vertices.Get(i), 0, adjacency);
   }
   // Initialize labels to own id.
   for (uint64_t i = 0; i < kN; ++i) {
-    const Address label = m->AllocateRegular(value_klass);
+    const Address label = m->Allocate({value_klass});
     const Klass& k = klasses.Get(value_klass);
     const double id = static_cast<double>(i);
     std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(label, k)), &id, sizeof(id));
@@ -92,7 +92,7 @@ TEST(SparkSemanticsTest, ConnectedComponentsLabelsNeverIncrease) {
       const double own = ValueOf(&vm, m, v);
       const double theirs = ValueOf(&vm, m, neighbor);
       const double next = std::min(own, theirs);
-      const Address fresh = m->AllocateRegular(value_klass);
+      const Address fresh = m->Allocate({value_klass});
       const Klass& k = klasses.Get(value_klass);
       std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(fresh, k)), &next, sizeof(next));
       m->WriteRef(v, 1, fresh);
@@ -120,7 +120,7 @@ TEST(SparkSemanticsTest, ValuesSurviveObjectRelocationBitExact) {
   constexpr uint64_t kN = 2000;
   ManagedTable boxes(&vm, m, kN);
   for (uint64_t i = 0; i < kN; ++i) {
-    const Address b = m->AllocateRegular(box);
+    const Address b = m->Allocate({box});
     const Klass& k = vm.heap().klasses().Get(box);
     const uint64_t payload[2] = {i * 0x9e3779b97f4a7c15ULL, ~i};
     std::memcpy(reinterpret_cast<void*>(obj::PayloadOf(b, k)), payload, sizeof(payload));

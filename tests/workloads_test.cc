@@ -137,7 +137,7 @@ TEST(ManagedTableTest, SetGetAcrossSegmentsAndGc) {
   ManagedTable table(&vm, m, 5000, 512);
   std::vector<Address> values(5000);
   for (uint64_t i = 0; i < 5000; i += 7) {
-    values[i] = m->AllocateRegular(node);
+    values[i] = m->Allocate({node});
     table.Set(i, values[i]);
   }
   vm.CollectNow();

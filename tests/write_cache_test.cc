@@ -259,9 +259,9 @@ TEST(WriteCacheFallbackEquivalenceTest, DeniedCacheMatchesNoCacheRun) {
     }
     Mutator* mutator = vm.CreateMutator();
     const KlassId klass = vm.heap().klasses().RegisterRegular("EqNode", 2, 16);
-    const RootHandle head = vm.NewRoot(mutator->AllocateRegular(klass));
+    const RootHandle head = vm.NewRoot(mutator->Allocate({klass}));
     for (int i = 0; i < 199; ++i) {
-      const Address node = mutator->AllocateRegular(klass);
+      const Address node = mutator->Allocate({klass});
       mutator->WriteRef(node, 0, vm.GetRoot(head));
       vm.SetRoot(head, node);
     }
