@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <utility>
 
@@ -43,6 +44,33 @@ std::string GcOptionsTag(const GcOptions& gc) {
 
 double g_scale = -1.0;  // <0: uninitialized, read env on first use.
 int g_reps = 0;         // 0: uninitialized.
+
+// Label → filesystem-safe subdirectory name for incident dumps ("/" and
+// anything else exotic becomes "_").
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '_' &&
+        c != '.' && c != '+') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// Arms the flight recorder's incident dumps for one observed run: each label
+// gets its own subdirectory of --flight-record so per-recorder incident
+// sequence numbers never collide across Vms.
+void ApplyFlightRecorder(const BenchContext& ctx, const std::string& label,
+                         VmOptions* options) {
+  if (!ctx.flight_recording()) {
+    return;
+  }
+  options->flight_recorder.dump_dir = ctx.flight_record_dir() + "/" + SanitizeLabel(label);
+  if (ctx.fr_threshold_ns() > 0) {
+    options->flight_recorder.pause_threshold_ns = ctx.fr_threshold_ns();
+  }
+}
 
 }  // namespace
 
@@ -138,7 +166,7 @@ WorkloadProfile ScaledProfile(WorkloadProfile profile) {
 WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
                          const GcOptions& gc) {
   BenchContext* ctx = CurrentBenchContext();
-  if (ctx == nullptr || !ctx->observing()) {
+  if (ctx == nullptr || (!ctx->observing() && !ctx->flight_recording())) {
     return RunWorkload(ScaledProfile(profile), heap, gc);
   }
   VmOptions options;
@@ -154,6 +182,7 @@ WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
   record.label = profile.name + "/" + GcOptionsTag(gc) + "/" +
                  DeviceKindShortName(heap.heap_device) + "/" +
                  CollectorKindName(gc.collector) + "/t" + std::to_string(gc.gc_threads);
+  ApplyFlightRecorder(*ctx, record.label, &options);
   WorkloadResult result = RunWorkload(ScaledProfile(profile), options, [&](Vm& vm) {
     record.pauses = vm.metrics().pauses();
     record.counters = vm.metrics().counters();
@@ -163,6 +192,11 @@ WorkloadResult RunSingle(const WorkloadProfile& profile, const HeapConfig& heap,
       record.timeline = vm.timeline().samples();
     }
     ctx->AppendTrace(vm.tracer(), record.label);
+    if (ctx->flight_recording()) {
+      // End-of-run explicit dump: every flight-recorded label ships at least
+      // one incident file even when no anomaly trigger fired.
+      vm.DumpFlightRecord();
+    }
   });
   record.result = result;
   ctx->RecordRun(std::move(record));
@@ -195,13 +229,14 @@ WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVari
     WorkloadProfile p = profile;
     p.seed = profile.seed + static_cast<uint64_t>(rep) * 7919;
     WorkloadResult r;
-    if (rep == 0 && ctx != nullptr && ctx->observing()) {
+    if (rep == 0 && ctx != nullptr && (ctx->observing() || ctx->flight_recording())) {
       // Observe the first repetition only: repetitions differ only in seed,
       // and one pause-by-pause record per data point keeps artifacts small.
       VmOptions options;
       options.heap = heap;
       options.gc = gc;
       options.trace_gc = ctx->tracing();
+      ApplyFlightRecorder(*ctx, record.label, &options);
       r = RunWorkload(ScaledProfile(p), options, [&](Vm& vm) {
         record.pauses = vm.metrics().pauses();
         record.counters = vm.metrics().counters();
@@ -211,6 +246,11 @@ WorkloadResult RunOnce(const WorkloadProfile& profile, DeviceKind device, GcVari
           record.timeline = vm.timeline().samples();
         }
         ctx->AppendTrace(vm.tracer(), record.label);
+        if (ctx->flight_recording()) {
+          // End-of-run explicit dump: every flight-recorded label ships at
+          // least one incident file even without an anomaly trigger.
+          vm.DumpFlightRecord();
+        }
       });
       observed = true;
     } else {

@@ -186,7 +186,9 @@ void PrintUsage(const char* name) {
       "  --trace=PATH    write a Chrome-trace / Perfetto JSON timeline\n"
       "  --timeline      embed per-pause NVM bandwidth samples in --json\n"
       "  --repeat=N      repetitions per data point (default $NVMGC_BENCH_REPS or 2)\n"
-      "  --scale=F       allocation-volume scale (default $NVMGC_BENCH_SCALE or 1.0)\n",
+      "  --scale=F       allocation-volume scale (default $NVMGC_BENCH_SCALE or 1.0)\n"
+      "  --flight-record=DIR  write flight-recorder incident dumps under DIR\n"
+      "  --fr-threshold-ns=N  absolute pause threshold for the anomaly trigger\n",
       name);
 }
 
@@ -328,6 +330,15 @@ int BenchMain(const char* name, BenchFn fn, int argc, char** argv) {
       ctx.trace_path_ = value;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       ctx.timeline_ = true;
+    } else if (MatchFlag(argc, argv, &i, "--flight-record", &value)) {
+      ctx.flight_record_dir_ = value;
+    } else if (MatchFlag(argc, argv, &i, "--fr-threshold-ns", &value)) {
+      ctx.fr_threshold_ns_ = static_cast<uint64_t>(std::atoll(value.c_str()));
+      if (ctx.fr_threshold_ns_ == 0) {
+        std::fprintf(stderr, "%s: --fr-threshold-ns must be a positive integer, got '%s'\n",
+                     name, value.c_str());
+        return 2;
+      }
     } else if (MatchFlag(argc, argv, &i, "--repeat", &value)) {
       ctx.repeat_ = std::atoi(value.c_str());
       if (ctx.repeat_ < 1) {

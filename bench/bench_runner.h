@@ -19,6 +19,12 @@
 //                   (150 us read/write MB/s + interleave samples) in --json
 //   --repeat=N      repetitions averaged per data point (NVMGC_BENCH_REPS)
 //   --scale=F       allocation-volume scale factor (NVMGC_BENCH_SCALE)
+//   --flight-record=DIR  arm the GC flight recorder's anomaly dumps: each
+//                   observed run writes nvmgc.incident.v1 files into a
+//                   per-label subdirectory of DIR, plus one explicit
+//                   end-of-run dump (see scripts/fr_analyze.py)
+//   --fr-threshold-ns=N  absolute pause threshold for the recorder's
+//                   anomaly trigger (default: trailing-p99 outlier only)
 //
 // bench_common's RunOnce / RunSingle consult the active context, so existing
 // table-printing bench bodies pick up --json / --trace without any changes
@@ -82,6 +88,14 @@ class BenchContext {
   // True when per-pause bandwidth timelines should be embedded in the JSON
   // artifact (--timeline; adds a "timeline" array per run).
   bool timeline_enabled() const { return timeline_; }
+  // Flight-recorder incident directory (--flight-record). Empty = anomaly
+  // dumps disabled. bench_common gives each observed run a per-label
+  // subdirectory underneath so incident names never collide.
+  const std::string& flight_record_dir() const { return flight_record_dir_; }
+  bool flight_recording() const { return !flight_record_dir_.empty(); }
+  // Pause-threshold override for the recorder's anomaly trigger
+  // (--fr-threshold-ns; 0 = keep the p99-outlier default).
+  uint64_t fr_threshold_ns() const { return fr_threshold_ns_; }
 
   // --- Recording (called by bench_common) ---
   void RecordRun(BenchRunRecord record);
@@ -103,6 +117,8 @@ class BenchContext {
   CollectorKind collector_ = CollectorKind::kG1;
   std::string json_path_;
   std::string trace_path_;
+  std::string flight_record_dir_;
+  uint64_t fr_threshold_ns_ = 0;
   bool timeline_ = false;
   int repeat_ = 0;      // 0 = env/default.
   double scale_ = 0.0;  // 0 = env/default.

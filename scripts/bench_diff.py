@@ -12,9 +12,16 @@ on any move beyond PCT in either direction. --fail-any-change is the escape
 hatch that fails on any deviation of any result metric, regardless of
 direction.
 
+Histogram percentile digests (schema v2 metrics.histograms) are diffed per
+matched label: keys present on both sides report the p99 move, keys present
+on only one side are annotated as added/removed rather than erroring — new
+instrumentation (e.g. the gc.pause.minor.*/major.* split) routinely appears
+in the candidate before the baseline is regenerated. --histograms shows the
+shared-key moves; added/removed annotations always print.
+
 Usage:
   bench_diff.py baseline.json candidate.json [--metric gc_ns] [--top N]
-                [--fail-above PCT] [--fail-any-change]
+                [--fail-above PCT] [--fail-any-change] [--histograms]
 """
 
 import argparse
@@ -52,6 +59,36 @@ def regression_pct(metric, delta_pct):
     return abs(delta_pct)
 
 
+def histograms_of(run):
+    """The run's histogram digests, {} on schema v1 (no KeyError either way)."""
+    return run.get("metrics", {}).get("histograms", {}) or {}
+
+
+def diff_histograms(label, base_run, cand_run, show_shared):
+    """Prints the label's histogram changes; never fails on one-sided keys."""
+    b, c = histograms_of(base_run), histograms_of(cand_run)
+    added = sorted(set(c) - set(b))
+    removed = sorted(set(b) - set(c))
+    lines = []
+    for name in added:
+        lines.append(f"    histogram {name}: added (candidate only, "
+                     f"count={c[name].get('count', 0)})")
+    for name in removed:
+        lines.append(f"    histogram {name}: removed (baseline only, "
+                     f"count={b[name].get('count', 0)})")
+    if show_shared:
+        for name in sorted(set(b) & set(c)):
+            bp, cp = b[name].get("p99", 0), c[name].get("p99", 0)
+            if bp == cp:
+                continue
+            lines.append(f"    histogram {name}: p99 {bp:.6g} -> {cp:.6g} "
+                         f"({pct(bp, cp):+.1f}%)")
+    if lines:
+        print(f"  {label}")
+        for line in lines:
+            print(line)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -66,6 +103,9 @@ def main():
                          "(direction-aware; improvements never fail)")
     ap.add_argument("--fail-any-change", action="store_true",
                     help="exit 1 on any deviation of any result metric")
+    ap.add_argument("--histograms", action="store_true",
+                    help="also show p99 moves of histogram digests shared by "
+                         "both sides (added/removed keys always print)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -109,6 +149,15 @@ def main():
             print(f"{label:<{width}}  (identical)")
     if args.top and len(rows) > args.top:
         print(f"... {len(rows) - args.top} more runs (use --top 0 for all)")
+
+    # Histogram digests: one-sided keys are annotated, never a failure.
+    hist_labels = [label for label in shared
+                   if set(histograms_of(base[label])) != set(histograms_of(cand[label]))
+                   or (args.histograms and histograms_of(base[label]))]
+    if hist_labels:
+        print("\nhistogram digests:")
+        for label in hist_labels:
+            diff_histograms(label, base[label], cand[label], args.histograms)
 
     if args.fail_any_change:
         changed = [(label, m) for label, metrics in rows

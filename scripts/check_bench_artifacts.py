@@ -11,11 +11,12 @@ bench; exits nonzero with a message on the first violation.
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
        [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
        [--require-timeline] [--require-policy-tracks] [--require-persist-tracks]
-       [--require-gen-tracks]
+       [--require-gen-tracks] [--require-incident DIR]
 """
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMAS = ("nvmgc.bench.v1", "nvmgc.bench.v2")
@@ -205,6 +206,34 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
           f"{len(names)} span names, {len(counter_names)} counter tracks)")
 
 
+def check_incident_dir(dirpath):
+    """At least one flight-recorder incident dump exists under dirpath.
+
+    Deep validation (trigger semantics, site attribution, companion trace) is
+    fr_analyze.py --validate's job; this check only gates that the bench's
+    --flight-record plumbing produced schema-tagged incident files at all.
+    """
+    found = 0
+    for root, _dirs, files in os.walk(dirpath):
+        for name in sorted(files):
+            if not (name.startswith("incident-") and name.endswith(".json")) \
+               or name.endswith(".trace.json"):
+                continue
+            path = os.path.join(root, name)
+            try:
+                with open(path) as f:
+                    doc = json.load(f)
+            except (OSError, json.JSONDecodeError) as e:
+                fail(f"{path}: unreadable or invalid incident JSON: {e}")
+            if doc.get("schema") != "nvmgc.incident.v1":
+                fail(f"{path}: schema is {doc.get('schema')!r}, "
+                     "want 'nvmgc.incident.v1'")
+            found += 1
+    if found == 0:
+        fail(f"{dirpath}: no incident-*.json flight-recorder dumps found")
+    print(f"check_bench_artifacts: {found} incident dump(s) under {dirpath}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -227,12 +256,17 @@ def main():
     ap.add_argument("--require-gen-tracks", action="store_true",
                     help="fail when the trace lacks the gen.* counter tracks of "
                          "the generational heap")
+    ap.add_argument("--require-incident", metavar="DIR",
+                    help="fail unless DIR (searched recursively) holds at least "
+                         "one nvmgc.incident.v1 flight-recorder dump")
     args = ap.parse_args()
     check_json(args.json, args.require_pauses, args.require_timeline)
     if args.trace:
         check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks,
                     args.require_policy_tracks, args.require_persist_tracks,
                     args.require_gen_tracks)
+    if args.require_incident:
+        check_incident_dir(args.require_incident)
     return 0
 
 

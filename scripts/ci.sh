@@ -30,7 +30,15 @@
 #     young generation vs the non-generational baseline (the bench enforces
 #     >= 50% NVM write reduction on the alloc-heavy phase and major pause
 #     cost per evacuated byte within 10%), the gen.* counter tracks, and the
-#     generational regression baseline (BENCH_baseline_generational.json).
+#     generational regression baseline (BENCH_baseline_generational.json);
+#   - nvmgc_bench_flightrec_smoke / _artifacts_check / _gate: the GC flight
+#     recorder off vs on (the bench enforces the <= 3% simulated-time bound
+#     itself), with a seeded pause-threshold anomaly dumping nvmgc.incident.v1
+#     files into <build>/artifacts/fr/ (retained after the run), checked by
+#     --require-incident and pinned by BENCH_baseline_flightrec.json;
+#   - nvmgc_flight_record_check: scripts/fr_analyze.py --validate over every
+#     incident dump — trigger semantics, retained pauses, per-allocation-site
+#     attribution of the triggering pause, and the companion Perfetto trace.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,7 +57,11 @@ python3 scripts/bench_gate.py \
   --baseline BENCH_baseline.json=build/artifacts/smoke.json \
   --baseline BENCH_baseline_adaptive.json=build/artifacts/adaptive.json \
   --baseline BENCH_baseline_durability.json=build/artifacts/durability.json \
-  --baseline BENCH_baseline_generational.json=build/artifacts/generational.json
+  --baseline BENCH_baseline_generational.json=build/artifacts/generational.json \
+  --baseline BENCH_baseline_flightrec.json=build/artifacts/flightrec.json
+
+echo "=== flight-recorder incident validation ==="
+python3 scripts/fr_analyze.py build/artifacts/fr --validate
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

@@ -211,6 +211,8 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
       w.cache_state = WriteCacheWorkerState{};
       w.direct_survivor = nullptr;
       w.old_target = nullptr;
+      w.site_local.assign(
+          site_profiler_ != nullptr ? site_profiler_->site_count() : 0, SiteWorkerDelta{});
       if (tracer_ != nullptr) {
         tracer_->BindThread(id);
       }
@@ -328,6 +330,18 @@ GcCycleStats CopyCollector::Collect(const std::vector<Address*>& roots, SimClock
     cycle.persist_flush_lines += l.persist_flush_lines;
     cycle.persist_fences += l.persist_fences;
     cycle.persist_ns += l.persist_ns;
+  }
+  if (site_profiler_ != nullptr) {
+    // Fold the worker-local site deltas into the profiler (control thread):
+    // survivals per birth site, from which it infers this pause's deaths.
+    std::vector<SiteWorkerDelta> merged(site_profiler_->site_count());
+    for (uint32_t i = 0; i < n; ++i) {
+      const Worker& w = workers_[i];
+      for (size_t s = 0; s < w.site_local.size() && s < merged.size(); ++s) {
+        merged[s].Merge(w.site_local[s]);
+      }
+    }
+    site_profiler_->OnCycleEnd(merged, kind == GcKind::kMajor);
   }
   cycle.persist_flush_lines += persist_stats.persist_flush_lines;
   cycle.persist_fences += persist_stats.persist_fences;
@@ -588,7 +602,9 @@ Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
   std::memcpy(reinterpret_cast<void*>(target.physical),
               reinterpret_cast<const void*>(old_addr), size);
   // The age field is 4 bits; old->old copies in major collections saturate it.
-  obj::StoreMark(target.physical, obj::MarkWithAge(std::min<uint32_t>(age + 1, 15)));
+  // The allocation-site tag survives every copy.
+  obj::StoreMark(target.physical,
+                 obj::MarkWithAgeSite(std::min<uint32_t>(age + 1, 15), obj::SiteOf(mark)));
 
   w->local.objects_copied += 1;
   w->local.bytes_copied += size;
@@ -598,6 +614,30 @@ Address CopyCollector::Evacuate(Worker* w, Address old_addr) {
   }
   if (target.staged) {
     w->local.cache_bytes_staged += size;
+  }
+  if (site_profiler_ != nullptr) {
+    // Attribute this copy back to its birth site (untagged when the tag
+    // overflows the table — it cannot: tags come from the same profiler).
+    uint32_t site = obj::SiteOf(mark);
+    if (site >= w->site_local.size()) site = kUntaggedSite;
+    SiteWorkerDelta& d = w->site_local[site];
+    if (already_old) {
+      d.old_copy_objects += 1;
+      d.old_copy_bytes += size;
+    } else {
+      d.copied_objects[age] += 1;
+      d.copied_bytes[age] += size;
+      if (target.promoted) {
+        d.promoted_objects[age] += 1;
+        d.promoted_bytes[age] += size;
+      }
+    }
+    if (heap_->config().heap_device == DeviceKind::kNvm && heap_->InHeapArena(target.final)) {
+      d.nvm_copy_bytes += size;
+    }
+    if (target.staged) {
+      d.staged_bytes += size;
+    }
   }
 
   // Scan the new copy's reference slots and push work.

@@ -34,6 +34,7 @@
 #include "src/heap/heap.h"
 #include "src/nvm/prefetch_queue.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/alloc_site.h"
 #include "src/obs/device_timeline.h"
 #include "src/obs/trace.h"
 #include "src/recovery/commit_record.h"
@@ -85,6 +86,14 @@ class CopyCollector {
   void set_timeline(DeviceTimeline* timeline) { timeline_ = timeline; }
   DeviceTimeline* timeline() { return timeline_; }
 
+  // Attaches the allocation-site profiler: workers then attribute every
+  // evacuation-time copy back to the referent's birth-site tag (spare mark
+  // bits) into worker-local deltas, merged and folded into the profiler on
+  // the control thread at pause end. Must outlive the collector; pass nullptr
+  // to detach.
+  void set_site_profiler(AllocSiteProfiler* profiler) { site_profiler_ = profiler; }
+  AllocSiteProfiler* site_profiler() { return site_profiler_; }
+
   // Durability mode: the simulated instants at which each pause's commit
   // record sealed (the seal fence completed). Crash sweeps use this to
   // predict which epoch recovery must land on for a given power-cut instant.
@@ -110,6 +119,9 @@ class CopyCollector {
     WriteCacheWorkerState cache_state;
     Region* direct_survivor = nullptr;
     Region* old_target = nullptr;
+    // Per-site evacuation deltas (indexed by site id); only sized when a
+    // profiler is attached.
+    std::vector<SiteWorkerDelta> site_local;
   };
 
   struct CopyTarget {
@@ -147,6 +159,7 @@ class CopyCollector {
   GcThreadPool* pool_;
   GcTracer* tracer_ = nullptr;
   DeviceTimeline* timeline_ = nullptr;
+  AllocSiteProfiler* site_profiler_ = nullptr;
 
   std::unique_ptr<HeaderMap> header_map_;
   std::unique_ptr<WriteCache> write_cache_;

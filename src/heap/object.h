@@ -34,6 +34,10 @@ namespace obj {
 inline constexpr uint64_t kForwardedBit = 0x1;
 inline constexpr uint64_t kAgeShift = 1;
 inline constexpr uint64_t kAgeMask = 0xFULL << kAgeShift;
+// Allocation-site tag (src/obs/alloc_site.h). 16 bits is far above the number
+// of distinct sites a workload registers; 0 means "untagged".
+inline constexpr uint64_t kSiteShift = 5;
+inline constexpr uint64_t kSiteMask = 0xFFFFULL << kSiteShift;
 
 inline constexpr size_t kHeaderBytes = 16;
 inline constexpr size_t kMarkOffset = 0;
@@ -72,9 +76,14 @@ inline bool IsForwarded(uint64_t mark) { return (mark & kForwardedBit) != 0; }
 inline Address ForwardeeOf(uint64_t mark) { return static_cast<Address>(mark & ~kForwardedBit); }
 
 inline uint32_t AgeOf(uint64_t mark) { return static_cast<uint32_t>((mark & kAgeMask) >> kAgeShift); }
-inline uint64_t MarkWithAge(uint32_t age) {
-  return (static_cast<uint64_t>(age) << kAgeShift) & kAgeMask;
+inline uint32_t SiteOf(uint64_t mark) {
+  return static_cast<uint32_t>((mark & kSiteMask) >> kSiteShift);
 }
+inline uint64_t MarkWithAgeSite(uint32_t age, uint32_t site) {
+  return ((static_cast<uint64_t>(age) << kAgeShift) & kAgeMask) |
+         ((static_cast<uint64_t>(site) << kSiteShift) & kSiteMask);
+}
+inline uint64_t MarkWithAge(uint32_t age) { return MarkWithAgeSite(age, 0); }
 
 inline KlassId KlassIdOf(Address a) {
   return *reinterpret_cast<const uint32_t*>(a + kKlassOffset);
@@ -155,9 +164,11 @@ inline Address PayloadOf(Address a, const Klass& klass) {
 }
 
 // Initializes header + klass (and array length) of a freshly allocated object
-// and zeroes its reference slots.
-inline void InitializeObject(Address a, const Klass& klass, uint64_t array_length) {
-  StoreMark(a, MarkWithAge(0));
+// and zeroes its reference slots. `site` is the allocation-site tag carried in
+// the spare mark bits (0 = untagged).
+inline void InitializeObject(Address a, const Klass& klass, uint64_t array_length,
+                             uint32_t site = 0) {
+  StoreMark(a, MarkWithAgeSite(0, site));
   StoreKlassId(a, klass.id);
   switch (klass.kind) {
     case KlassKind::kRegular:

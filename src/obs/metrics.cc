@@ -152,7 +152,7 @@ PauseSnapshot SnapshotFromCycle(uint64_t id, const GcCycleStats& cycle) {
   return snap;
 }
 
-void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle) {
+void RecordGcCycleHistograms(MetricsRegistry* registry, const GcCycleStats& cycle) {
   registry->RecordHistogram("gc.pause_ns", cycle.pause_ns);
   registry->RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
   registry->RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
@@ -161,6 +161,10 @@ void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle) {
   registry->RecordHistogram(kind_prefix + "pause_ns", cycle.pause_ns);
   registry->RecordHistogram(kind_prefix + "read_phase_ns", cycle.read_phase_ns);
   registry->RecordHistogram(kind_prefix + "writeback_phase_ns", cycle.writeback_phase_ns);
+}
+
+void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle) {
+  RecordGcCycleHistograms(registry, cycle);
   registry->RecordPause(SnapshotFromCycle(registry->pauses().size(), cycle));
 }
 

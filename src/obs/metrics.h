@@ -90,8 +90,15 @@ const std::vector<std::string>& GcPauseMetricNames();
 // Maps one merged GC cycle to a snapshot keyed by GcPauseMetricNames().
 PauseSnapshot SnapshotFromCycle(uint64_t id, const GcCycleStats& cycle);
 
+// Records the per-pause duration histograms for one cycle: the aggregate
+// gc.pause_ns / gc.read_phase_ns / gc.writeback_phase_ns tracks plus the
+// kind-split gc.pause.minor.* / gc.pause.major.* tracks (derived from
+// cycle.is_major; non-generational runs only ever populate the minor tracks,
+// so percentile dashboards stay comparable across modes).
+void RecordGcCycleHistograms(MetricsRegistry* registry, const GcCycleStats& cycle);
+
 // Records `cycle` into `registry`: per-pause snapshot + lifetime counters +
-// duration histograms (gc.pause_ns / gc.read_phase_ns / gc.writeback_phase_ns).
+// the duration histograms of RecordGcCycleHistograms().
 void RecordGcCycle(MetricsRegistry* registry, const GcCycleStats& cycle);
 
 }  // namespace nvmgc

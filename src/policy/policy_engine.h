@@ -32,7 +32,9 @@
 #ifndef NVMGC_SRC_POLICY_POLICY_ENGINE_H_
 #define NVMGC_SRC_POLICY_POLICY_ENGINE_H_
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -99,6 +101,24 @@ class PolicyEngine {
   const std::vector<PolicyDecision>& decisions() const { return decisions_; }
   uint64_t pauses_seen() const { return pauses_seen_; }
   uint64_t retreats() const { return retreats_; }
+
+  // The decisions appended at or after decision index `from` — the per-pause
+  // slice consumers like the flight recorder retain (`from` is the
+  // decisions().size() observed at the previous pause end). Clamped, so a
+  // stale index degrades to an empty slice rather than UB.
+  std::vector<PolicyDecision> DecisionsSince(size_t from) const {
+    return {decisions_.begin() +
+                static_cast<ptrdiff_t>(std::min(from, decisions_.size())),
+            decisions_.end()};
+  }
+  // True when any decision in the same slice was a retreat (the degraded /
+  // fence-stall guardrail) — one of the flight recorder's anomaly triggers.
+  bool AnyRetreatSince(size_t from) const {
+    for (size_t i = std::min(from, decisions_.size()); i < decisions_.size(); ++i) {
+      if (decisions_[i].retreat) return true;
+    }
+    return false;
+  }
 
   // Resolved clamp ranges (exposed for tests and the report).
   uint32_t min_threads() const { return min_threads_; }

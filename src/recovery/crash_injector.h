@@ -15,9 +15,11 @@
 #define NVMGC_SRC_RECOVERY_CRASH_INJECTOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/nvm/persist_ledger.h"
+#include "src/obs/flight_recorder.h"
 
 namespace nvmgc {
 
@@ -32,9 +34,24 @@ class CrashInjector {
 
   uint64_t crash_ns() const { return crash_ns_; }
 
+  // Arms the VM's flight recorder alongside the ledger: TakeImage() then
+  // dumps the flight record of the pauses leading up to the cut into
+  // `dump_dir` (FrTrigger::kCrash), so a recovered heap ships with the
+  // evidence of how it got there. Pass nullptr to disarm.
+  void ArmFlightRecorder(FlightRecorder* recorder, std::string dump_dir) {
+    flight_recorder_ = recorder;
+    flight_dump_dir_ = std::move(dump_dir);
+  }
+  const std::string& flight_dump_path() const { return flight_dump_path_; }
+
   // The surviving NVM state. Call once, after the run has simulated past
   // crash_ns (later fences simply stop contributing to the image).
-  CrashImage TakeImage() { return ledger_->TakeCrashImage(); }
+  CrashImage TakeImage() {
+    if (flight_recorder_ != nullptr) {
+      flight_dump_path_ = flight_recorder_->Dump(FrTrigger::kCrash, flight_dump_dir_);
+    }
+    return ledger_->TakeCrashImage();
+  }
 
   // Deterministic scatter of `count` crash instants in [min_ns, max_ns),
   // derived from `seed` (splitmix64). Sorted ascending.
@@ -44,6 +61,9 @@ class CrashInjector {
  private:
   PersistOrderingLedger* ledger_;
   uint64_t crash_ns_;
+  FlightRecorder* flight_recorder_ = nullptr;
+  std::string flight_dump_dir_;
+  std::string flight_dump_path_;
 };
 
 }  // namespace nvmgc

@@ -187,6 +187,49 @@ void PrintGcSummary(Vm* vm, std::FILE* out) {
       table.Print(out);
     }
   }
+
+  // Flight recorder: retention + the last trigger / incident written.
+  const FlightRecorder& fr = vm->flight_recorder();
+  if (fr.enabled() && fr.pauses_recorded() > 0) {
+    std::fprintf(out,
+                 "  flight recorder: %llu pauses recorded (%zu retained), %llu incidents\n",
+                 static_cast<unsigned long long>(fr.pauses_recorded()), fr.pauses().size(),
+                 static_cast<unsigned long long>(fr.incidents()));
+    if (fr.last_trigger().kind != FrTrigger::kNone) {
+      std::fprintf(out, "    last trigger:  %s at pause %llu (observed %.3f ms)%s%s\n",
+                   FrTriggerName(fr.last_trigger().kind),
+                   static_cast<unsigned long long>(fr.last_trigger().pause_id),
+                   static_cast<double>(fr.last_trigger().observed_ns) / 1e6,
+                   fr.last_dump_path().empty() ? "" : " -> ",
+                   fr.last_dump_path().c_str());
+    }
+  }
+
+  // Allocation-site demographics: lifetime, tenuring rate, and NVM write
+  // amplification per registered site (plus whatever landed untagged).
+  const AllocSiteProfiler& profiler = vm->site_profiler();
+  bool any_site = false;
+  for (size_t i = 1; i < profiler.sites().size(); ++i) {
+    any_site |= profiler.sites()[i].allocated_objects > 0;
+  }
+  if (any_site) {
+    std::fprintf(out, "  allocation sites:\n");
+    TablePrinter table({"site", "alloc", "survived", "promoted", "tenure%", "nvm-amp",
+                        "dead", "life p50/p99"});
+    for (const SiteStats& s : profiler.sites()) {
+      if (s.allocated_objects == 0) {
+        continue;
+      }
+      const HistogramSummary life = Summarize(s.lifetime);
+      table.AddRow({s.name, FormatSiBytes(s.allocated_bytes),
+                    FormatSiBytes(s.survived_bytes), FormatSiBytes(s.promoted_bytes),
+                    FormatDouble(s.TenuringRate() * 100.0, 1),
+                    FormatDouble(s.NvmWriteAmplification(), 2),
+                    FormatSiBytes(s.died_bytes),
+                    std::to_string(life.p50) + "/" + std::to_string(life.p99)});
+    }
+    table.Print(out);
+  }
 }
 
 }  // namespace nvmgc

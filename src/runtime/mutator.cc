@@ -19,30 +19,32 @@ Address Mutator::Allocate(const AllocRequest& request) {
                                  ? gen.large_object_threshold
                                  : vm_->heap_->region_bytes() / 8;
     if (request.large_object || size >= threshold) {
-      return AllocateLargeObject(klass, request.array_length, size);
+      return AllocateLargeObject(klass, request.array_length, size, request.site);
     }
   }
   if (size > vm_->heap_->region_bytes() / 2) {
-    return AllocateHumongous(klass, request.array_length, size);
+    return AllocateHumongous(klass, request.array_length, size, request.site);
   }
-  return AllocateSmall(klass, request.array_length, size);
+  return AllocateSmall(klass, request.array_length, size, request.site);
 }
 
 Address Mutator::Initialize(Address addr, const Klass& klass, uint64_t array_length,
-                            size_t size) {
-  obj::InitializeObject(addr, klass, array_length);
+                            size_t size, uint32_t site) {
+  obj::InitializeObject(addr, klass, array_length, site);
   MemoryDevice* dev = vm_->heap_->DeviceFor(vm_->heap_->RegionFor(addr));
   dev->Access(&vm_->clock_, SequentialWrite(addr, static_cast<uint32_t>(size)));
   vm_->clock_.Advance(kAllocCpuNs);
   return addr;
 }
 
-Address Mutator::AllocateSmall(const Klass& klass, uint64_t array_length, size_t size) {
+Address Mutator::AllocateSmall(const Klass& klass, uint64_t array_length, size_t size,
+                               uint32_t site) {
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (tlab_ != nullptr) {
       const Address addr = tlab_->Allocate(size);
       if (addr != kNullAddress) {
-        return Initialize(addr, klass, array_length, size);
+        vm_->site_profiler_->OnBirth(site, size);
+        return Initialize(addr, klass, array_length, size, site);
       }
     }
     tlab_ = vm_->heap_->AllocateRegion(RegionType::kEden);
@@ -55,14 +57,16 @@ Address Mutator::AllocateSmall(const Klass& klass, uint64_t array_length, size_t
   NVMGC_CHECK(false);  // Heap exhausted: allocation failed even after GC.
 }
 
-Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size) {
+Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size,
+                                   uint32_t site) {
   NVMGC_CHECK(size <= vm_->heap_->region_bytes());
   for (int attempt = 0; attempt < 2; ++attempt) {
     Region* region = vm_->heap_->AllocateHumongousRegion();
     if (region != nullptr) {
       const Address addr = region->Allocate(size);
       NVMGC_CHECK(addr != kNullAddress);
-      return Initialize(addr, klass, array_length, size);
+      vm_->site_profiler_->OnLargeAlloc(site, size);
+      return Initialize(addr, klass, array_length, size, site);
     }
     vm_->CollectNow();
     ++gcs_triggered_;
@@ -70,13 +74,15 @@ Address Mutator::AllocateHumongous(const Klass& klass, uint64_t array_length, si
   NVMGC_CHECK(false);  // No region available for a humongous allocation.
 }
 
-Address Mutator::AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size) {
+Address Mutator::AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size,
+                                     uint32_t site) {
   // Large objects are tenured in place: never copied, reclaimed whole-region
   // by the old-region sweep once every object in the region is dead.
   for (int attempt = 0; attempt < 2; ++attempt) {
     const Address addr = vm_->heap_->AllocateLarge(size);
     if (addr != kNullAddress) {
-      return Initialize(addr, klass, array_length, size);
+      vm_->site_profiler_->OnLargeAlloc(site, size);
+      return Initialize(addr, klass, array_length, size, site);
     }
     // Free-list exhausted: CollectNow escalates to a major cycle when the
     // heap is this full, which is what frees old regions.

@@ -21,10 +21,14 @@ class Vm;
 // large-object space even below the size threshold — meaningful only on a
 // generational heap, ignored elsewhere. Size-based routing (humongous, and
 // the generational large-object threshold) applies regardless of the hint.
+// `site` is an allocation-site tag from Vm::RegisterAllocSite (0 = untagged);
+// it is carried in the object's spare mark bits and drives the per-site
+// lifetime/tenuring/write-amplification demographics (src/obs/alloc_site.h).
 struct AllocRequest {
   KlassId klass = 0;
   uint64_t array_length = 0;
   bool large_object = false;
+  uint32_t site = 0;
 };
 
 class Mutator {
@@ -60,10 +64,13 @@ class Mutator {
   void ResetTlab() { tlab_ = nullptr; }
 
  private:
-  Address AllocateSmall(const Klass& klass, uint64_t array_length, size_t size);
-  Address AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size);
-  Address AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size);
-  Address Initialize(Address addr, const Klass& klass, uint64_t array_length, size_t size);
+  Address AllocateSmall(const Klass& klass, uint64_t array_length, size_t size, uint32_t site);
+  Address AllocateHumongous(const Klass& klass, uint64_t array_length, size_t size,
+                            uint32_t site);
+  Address AllocateLargeObject(const Klass& klass, uint64_t array_length, size_t size,
+                              uint32_t site);
+  Address Initialize(Address addr, const Klass& klass, uint64_t array_length, size_t size,
+                     uint32_t site);
 
   Vm* vm_;
   Region* tlab_ = nullptr;

@@ -81,6 +81,10 @@ Vm::Vm(const VmOptions& options) : options_(options) {
   collector_->set_tracer(tracer_.get());
   timeline_ = std::make_unique<DeviceTimeline>(heap_device_.get());
   collector_->set_timeline(timeline_.get());
+  site_profiler_ = std::make_unique<AllocSiteProfiler>();
+  collector_->set_site_profiler(site_profiler_.get());
+  flight_recorder_ = std::make_unique<FlightRecorder>(options_.flight_recorder);
+  flight_recorder_->set_site_profiler(site_profiler_.get());
   if (options.gc.adaptive.enabled) {
     const bool gen = options_.gc.generational.enabled;
     policy_ = std::make_unique<PolicyEngine>(
@@ -162,23 +166,19 @@ GcCycleStats Vm::CollectNow() {
 
 GcCycleStats Vm::CollectNow(GcKind kind) {
   const DeviceCounters dram_before = dram_device_->counters();
+  const size_t timeline_from = timeline_->size();
+  const uint64_t pause_id = metrics_.pauses().size();
   const GcCycleStats cycle = collector_->Collect(RootSlots(), &clock_, kind);
   const DeviceCounters dram_delta = dram_device_->counters() - dram_before;
 
   // Per-pause snapshot: the merged cycle under stable dotted names, plus the
   // DRAM-side traffic of the pause (staging writes, header-map probes).
-  PauseSnapshot snap = SnapshotFromCycle(metrics_.pauses().size(), cycle);
+  PauseSnapshot snap = SnapshotFromCycle(pause_id, cycle);
   snap.values["device.dram.read_bytes"] = dram_delta.read_bytes;
   snap.values["device.dram.write_bytes"] = dram_delta.write_bytes;
-  metrics_.RecordHistogram("gc.pause_ns", cycle.pause_ns);
-  metrics_.RecordHistogram("gc.read_phase_ns", cycle.read_phase_ns);
-  metrics_.RecordHistogram("gc.writeback_phase_ns", cycle.writeback_phase_ns);
-  // Kind-split histograms: non-generational runs only ever populate the
-  // minor tracks, so percentile dashboards stay comparable across modes.
-  const std::string kind_prefix = std::string("gc.pause.") + GcKindName(kind) + ".";
-  metrics_.RecordHistogram(kind_prefix + "pause_ns", cycle.pause_ns);
-  metrics_.RecordHistogram(kind_prefix + "read_phase_ns", cycle.read_phase_ns);
-  metrics_.RecordHistogram(kind_prefix + "writeback_phase_ns", cycle.writeback_phase_ns);
+  // Aggregate + kind-split duration histograms (the minor/major split keeps
+  // percentile dashboards comparable across modes; see metrics.h).
+  RecordGcCycleHistograms(&metrics_, cycle);
   metrics_.RecordPause(std::move(snap));
   if (options_.gc.generational.enabled) {
     // Per-cycle value, not a sum — a gauge, refreshed every pause.
@@ -202,6 +202,36 @@ GcCycleStats Vm::CollectNow(GcKind kind) {
     collector_->ApplyTuning(policy_->tuning());
   }
 
+  // Flight recorder: retain this pause's full context (after the policy step,
+  // so the record carries the decisions this pause produced) and let the
+  // anomaly triggers auto-dump an incident. Host-side only — charges zero
+  // simulated time.
+  if (flight_recorder_->enabled()) {
+    FlightPauseRecord record;
+    record.pause_id = pause_id;
+    record.kind = kind;
+    record.degraded = cycle.degraded_mode != 0;
+    record.stats = cycle;
+    record.dram_read_bytes = dram_delta.read_bytes;
+    record.dram_write_bytes = dram_delta.write_bytes;
+    if (policy_ != nullptr) {
+      record.retreat = policy_->AnyRetreatSince(policy_decisions_seen_);
+      record.decisions = policy_->DecisionsSince(policy_decisions_seen_);
+      policy_decisions_seen_ = policy_->decisions().size();
+    }
+    const std::vector<TimelineSample>& samples = timeline_->samples();
+    record.timeline.assign(samples.begin() + std::min(timeline_from, samples.size()),
+                           samples.end());
+    record.sites = site_profiler_->last_cycle();
+    const FrTrigger fired = flight_recorder_->RecordPause(std::move(record));
+    metrics_.AddCounter("fr.pauses_recorded", 1);
+    if (fired != FrTrigger::kNone) {
+      metrics_.AddCounter("fr.triggers", 1);
+      metrics_.AddCounter(std::string("fr.trigger.") + FrTriggerName(fired), 1);
+    }
+    metrics_.SetGauge("fr.incidents", flight_recorder_->incidents());
+  }
+
   // Eden was reclaimed: every mutator's TLAB pointer is stale.
   for (auto& mutator : mutators_) {
     mutator->ResetTlab();
@@ -214,6 +244,14 @@ GcCycleStats Vm::CollectNow(GcKind kind) {
     ++old_reclaim_count_;
   }
   return cycle;
+}
+
+std::string Vm::DumpFlightRecord(const std::string& dir) {
+  const std::string path = flight_recorder_->Dump(FrTrigger::kExplicit, dir);
+  if (!path.empty()) {
+    metrics_.SetGauge("fr.incidents", flight_recorder_->incidents());
+  }
+  return path;
 }
 
 void Vm::ExportLifetimeMetrics() {

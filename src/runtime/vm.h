@@ -11,6 +11,8 @@
 
 #include <deque>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/gc/copy_collector.h"
@@ -20,7 +22,9 @@
 #include "src/nvm/device_profile.h"
 #include "src/nvm/memory_device.h"
 #include "src/nvm/sim_clock.h"
+#include "src/obs/alloc_site.h"
 #include "src/obs/device_timeline.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/policy/policy_engine.h"
@@ -42,6 +46,9 @@ struct VmOptions {
   bool trace_gc = false;
   // Events retained per logical GC thread when tracing.
   size_t trace_ring_capacity = 4096;
+  // GC flight recorder (always-on by default; see src/obs/flight_recorder.h).
+  // Set flight_recorder.dump_dir to enable anomaly-triggered incident dumps.
+  FlightRecorderOptions flight_recorder;
 };
 
 // A stable index into the VM's root table.
@@ -107,6 +114,21 @@ class Vm {
   // and applies the retuned GcTuning before the next pause.
   PolicyEngine* policy() { return policy_.get(); }
   const PolicyEngine* policy() const { return policy_.get(); }
+  // The allocation-site profiler (always on). Register sites here and pass
+  // the id in AllocRequest::site to get per-site lifetime demographics.
+  AllocSiteProfiler& site_profiler() { return *site_profiler_; }
+  const AllocSiteProfiler& site_profiler() const { return *site_profiler_; }
+  // Shorthand for site_profiler().RegisterSite().
+  AllocSiteId RegisterAllocSite(std::string_view name) {
+    return site_profiler_->RegisterSite(name);
+  }
+  // The GC flight recorder (always on unless options disabled it).
+  FlightRecorder& flight_recorder() { return *flight_recorder_; }
+  const FlightRecorder& flight_recorder() const { return *flight_recorder_; }
+  // Explicitly dumps the retained flight record as an incident file. `dir`
+  // overrides options().flight_recorder.dump_dir when non-empty. Returns the
+  // incident path, or "" when nothing was recorded / no directory is known.
+  std::string DumpFlightRecord(const std::string& dir = "");
 
   uint64_t now_ns() const { return clock_.now_ns(); }
   // Application time excluding GC pauses.
@@ -130,9 +152,14 @@ class Vm {
   std::unique_ptr<GcTracer> tracer_;
   std::unique_ptr<DeviceTimeline> timeline_;
   std::unique_ptr<PolicyEngine> policy_;
+  std::unique_ptr<AllocSiteProfiler> site_profiler_;
+  std::unique_ptr<FlightRecorder> flight_recorder_;
   MetricsRegistry metrics_;
   SimClock clock_;
 
+  // Policy decisions already handed to the flight recorder (index into
+  // policy_->decisions()), so each pause record carries only its own.
+  size_t policy_decisions_seen_ = 0;
   uint64_t old_reclaim_count_ = 0;
   Mutator* default_mutator_ = nullptr;  // Lazily created by Allocate().
   std::deque<Address> root_cells_;

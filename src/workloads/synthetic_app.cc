@@ -16,6 +16,9 @@ SyntheticApp::SyntheticApp(Vm* vm, WorkloadProfile profile)
   container_klass_ = klasses.RegisterRegular(profile_.name + ".Container", 4, 16);
   byte_array_klass_ = klasses.RegisterByteArray(profile_.name + ".byte[]");
   ref_array_klass_ = klasses.RegisterRefArray(profile_.name + ".Object[]");
+  node_site_ = vm_->RegisterAllocSite(profile_.name + ".node");
+  ref_array_site_ = vm_->RegisterAllocSite(profile_.name + ".ref[]");
+  byte_array_site_ = vm_->RegisterAllocSite(profile_.name + ".byte[]");
   chain_head_ = GlobalRoot(*vm_);
 }
 
@@ -69,14 +72,16 @@ void SyntheticApp::AttachSurvivor(Address object) {
 void SyntheticApp::AllocateOne() {
   Address object = kNullAddress;
   if (rng_.NextBool(profile_.small_object_fraction)) {
-    object = mutator_->Allocate({node_klass_});
+    object = mutator_->Allocate({node_klass_, 0, false, node_site_});
   } else if (rng_.NextBool(profile_.ref_array_fraction)) {
     const uint64_t length =
         rng_.NextInRange(profile_.array_bytes_min, profile_.array_bytes_max) / 8;
-    object = mutator_->Allocate({ref_array_klass_, std::max<uint64_t>(1, length)});
+    object = mutator_->Allocate(
+        {ref_array_klass_, std::max<uint64_t>(1, length), false, ref_array_site_});
   } else {
     const uint64_t bytes = rng_.NextInRange(profile_.array_bytes_min, profile_.array_bytes_max);
-    object = mutator_->Allocate({byte_array_klass_, std::max<uint64_t>(8, bytes)});
+    object = mutator_->Allocate(
+        {byte_array_klass_, std::max<uint64_t>(8, bytes), false, byte_array_site_});
   }
   allocated_bytes_ += obj::SizeOfAt(object, vm_->heap().klasses());
   if (rng_.NextBool(profile_.survival_fraction)) {

@@ -104,6 +104,13 @@ class SyntheticApp {
   KlassId byte_array_klass_ = 0;
   KlassId ref_array_klass_ = 0;
 
+  // Allocation-site tags (Vm::RegisterAllocSite): one per allocation path in
+  // AllocateOne(), so the site profiler attributes lifetime demographics and
+  // NVM write amplification per object shape.
+  AllocSiteId node_site_ = 0;
+  AllocSiteId ref_array_site_ = 0;
+  AllocSiteId byte_array_site_ = 0;
+
   // Live window: roots of surviving objects, FIFO-retired by byte budget.
   // GlobalRoot releases each root cell automatically on retirement.
   std::deque<std::pair<GlobalRoot, size_t>> live_window_;

@@ -117,6 +117,88 @@ TEST(MetricsRegistryTest, RecordGcCycleAppendsSnapshotAndHistograms) {
   EXPECT_EQ(m.histogram("gc.read_phase_ns")->Mean(), 300.0);
 }
 
+TEST(MetricsRegistryTest, KindSplitHistogramsTrackPauseKind) {
+  MetricsRegistry m;
+  GcCycleStats minor;
+  minor.pause_ns = 100;
+  minor.read_phase_ns = 60;
+  minor.writeback_phase_ns = 40;
+  GcCycleStats major = minor;
+  major.is_major = 1;
+  major.pause_ns = 900;
+  RecordGcCycle(&m, minor);
+  RecordGcCycle(&m, minor);
+  RecordGcCycle(&m, major);
+  // The aggregate histogram sees every pause; the kind-split pair partitions
+  // the same recordings, so their counts sum to the aggregate's.
+  ASSERT_NE(m.histogram("gc.pause_ns"), nullptr);
+  ASSERT_NE(m.histogram("gc.pause.minor.pause_ns"), nullptr);
+  ASSERT_NE(m.histogram("gc.pause.major.pause_ns"), nullptr);
+  EXPECT_EQ(m.histogram("gc.pause.minor.pause_ns")->count(), 2u);
+  EXPECT_EQ(m.histogram("gc.pause.major.pause_ns")->count(), 1u);
+  EXPECT_EQ(m.histogram("gc.pause.minor.pause_ns")->count() +
+                m.histogram("gc.pause.major.pause_ns")->count(),
+            m.histogram("gc.pause_ns")->count());
+  EXPECT_EQ(m.histogram("gc.pause.major.pause_ns")->max(), 900u);
+  // Both kinds surface in the percentile digests (bench JSON
+  // metrics.histograms and the GC report table read these).
+  const auto summaries = m.Summaries();
+  EXPECT_TRUE(summaries.count("gc.pause.minor.read_phase_ns"));
+  EXPECT_TRUE(summaries.count("gc.pause.major.writeback_phase_ns"));
+}
+
+TEST(HistogramSummaryTest, MergeAndResetAcrossPauses) {
+  // Merge folds another histogram's buckets in; Reset empties everything —
+  // the semantics RecordGcCycleHistograms leans on when accumulating pauses.
+  Histogram a;
+  a.Record(100);
+  a.Record(200);
+  Histogram b;
+  b.Record(400);
+  a.Merge(b);
+  HistogramSummary s = Summarize(a);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, 400u);
+  EXPECT_DOUBLE_EQ(s.mean, (100.0 + 200.0 + 400.0) / 3.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+
+  a.Reset();
+  s = Summarize(a);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+  // A reset histogram accumulates from scratch, unaffected by old buckets.
+  a.Record(7);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreIsolatedFromLaterUpdates) {
+  // A per-pause snapshot is a value copy: once recorded, neither mutating the
+  // source cycle nor recording later pauses may change it, and mid-pause the
+  // lifetime counters must reflect only *completed* pauses — a reader between
+  // RecordGcCycle calls never sees partially-updated gen.*/gc.* values.
+  MetricsRegistry m;
+  GcCycleStats cycle;
+  cycle.pause_ns = 100;
+  cycle.bytes_copied = 4096;
+  RecordGcCycle(&m, cycle);
+  const PauseSnapshot first = m.pauses()[0];  // Copy, as a reader would take.
+
+  cycle.pause_ns = 900;        // Mutate the source after recording...
+  cycle.bytes_copied = 1 << 20;
+  EXPECT_EQ(m.pauses()[0].values.at("gc.pause_ns"), 100u);  // ...no effect.
+  EXPECT_EQ(m.counter("gc.pause_ns"), 100u);  // Mid-pause: only pause 0.
+  EXPECT_EQ(m.counter("gc.bytes_copied"), 4096u);
+
+  RecordGcCycle(&m, cycle);
+  // The earlier snapshot is untouched by the second pause.
+  EXPECT_EQ(m.pauses()[0].values.at("gc.pause_ns"), first.values.at("gc.pause_ns"));
+  EXPECT_EQ(m.pauses()[1].values.at("gc.pause_ns"), 900u);
+  EXPECT_EQ(m.counter("gc.pause_ns"), 1000u);
+}
+
 TEST(GcTracerTest, DisabledTracerRecordsNothing) {
   SimClock clock;
   GcTracer tracer(2);
