@@ -11,7 +11,7 @@ bench; exits nonzero with a message on the first violation.
 Usage: check_bench_artifacts.py --json PATH [--trace PATH]
        [--require-pauses] [--require-trace-spans] [--require-counter-tracks]
        [--require-timeline] [--require-policy-tracks] [--require-persist-tracks]
-       [--require-gen-tracks] [--require-incident DIR]
+       [--require-gen-tracks] [--require-tenant-tracks] [--require-incident DIR]
 """
 
 import argparse
@@ -152,7 +152,7 @@ def check_json(path, require_pauses, require_timeline):
 
 
 def check_trace(path, require_spans, require_counter_tracks, require_policy_tracks,
-                require_persist_tracks, require_gen_tracks):
+                require_persist_tracks, require_gen_tracks, require_tenant_tracks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -163,6 +163,8 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
         fail(f"{path}: traceEvents missing or empty")
     names = set()
     counter_names = set()
+    named_pids = {}          # pid -> process_name metadata value
+    counters_by_pid = {}     # pid -> set of counter-track names
     for e in events:
         for key in ("name", "ph", "pid", "tid"):
             if key not in e:
@@ -174,6 +176,12 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
             if not isinstance(value, (int, float)):
                 fail(f"{path}: counter event lacks numeric args.value: {e}")
             counter_names.add(e["name"])
+            counters_by_pid.setdefault(e["pid"], set()).add(e["name"])
+        if e["ph"] == "M" and e["name"] == "process_name":
+            pname = e.get("args", {}).get("name")
+            if not isinstance(pname, str) or not pname:
+                fail(f"{path}: process_name metadata lacks args.name: {e}")
+            named_pids[e["pid"]] = pname
         names.add(e["name"])
     if require_spans:
         missing = PHASE_SPANS - names
@@ -202,8 +210,23 @@ def check_trace(path, require_spans, require_counter_tracks, require_policy_trac
         if missing:
             fail(f"{path}: expected generational counter tracks absent: "
                  f"{sorted(missing)} (was a generational configuration traced?)")
+    if require_tenant_tracks:
+        # A fleet trace renders each tenant Vm as its own Chrome-trace
+        # process: multiple named pids, and the nvm.* bandwidth tracks
+        # repeated per tenant pid (a GC-less tenant may legitimately have no
+        # counters, so only two pids need the full track set).
+        if len(named_pids) < 2:
+            fail(f"{path}: expected >= 2 process_name-tagged tenant pids, "
+                 f"found {len(named_pids)}: {named_pids}")
+        pids_with_tracks = [pid for pid, tracks in counters_by_pid.items()
+                            if pid in named_pids and not COUNTER_TRACKS - tracks]
+        if len(pids_with_tracks) < 2:
+            fail(f"{path}: expected >= 2 tenant pids carrying the nvm.* "
+                 f"counter tracks, found {len(pids_with_tracks)} "
+                 f"(named pids: {sorted(named_pids)})")
     print(f"check_bench_artifacts: {path}: OK ({len(events)} events, "
-          f"{len(names)} span names, {len(counter_names)} counter tracks)")
+          f"{len(names)} span names, {len(counter_names)} counter tracks, "
+          f"{len(named_pids)} named pids)")
 
 
 def check_incident_dir(dirpath):
@@ -256,6 +279,10 @@ def main():
     ap.add_argument("--require-gen-tracks", action="store_true",
                     help="fail when the trace lacks the gen.* counter tracks of "
                          "the generational heap")
+    ap.add_argument("--require-tenant-tracks", action="store_true",
+                    help="fail unless the trace has >= 2 process_name-tagged "
+                         "tenant pids and >= 2 of them carry the nvm.* tracks "
+                         "(fleet benches)")
     ap.add_argument("--require-incident", metavar="DIR",
                     help="fail unless DIR (searched recursively) holds at least "
                          "one nvmgc.incident.v1 flight-recorder dump")
@@ -264,7 +291,7 @@ def main():
     if args.trace:
         check_trace(args.trace, args.require_trace_spans, args.require_counter_tracks,
                     args.require_policy_tracks, args.require_persist_tracks,
-                    args.require_gen_tracks)
+                    args.require_gen_tracks, args.require_tenant_tracks)
     if args.require_incident:
         check_incident_dir(args.require_incident)
     return 0

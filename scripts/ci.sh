@@ -38,7 +38,14 @@
 #     --require-incident and pinned by BENCH_baseline_flightrec.json;
 #   - nvmgc_flight_record_check: scripts/fr_analyze.py --validate over every
 #     incident dump — trigger semantics, retained pauses, per-allocation-site
-#     attribution of the triggering pause, and the companion Perfetto trace.
+#     attribution of the triggering pause, and the companion Perfetto trace;
+#   - nvmgc_bench_fleet_smoke / _artifacts_check / _gate (+
+#     nvmgc_fleet_flight_record_check): the multi-tenant fleet bench —
+#     three QoS-tiered tenants on one shared device, uncoordinated vs
+#     coordinated (the bench enforces the serving-p99 gain and batch
+#     throughput-retention bars itself), with per-tenant Chrome-trace
+#     processes (--require-tenant-tracks), tenant-tagged incident dumps in
+#     <build>/artifacts/fr-fleet/, and BENCH_baseline_fleet.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,10 +65,12 @@ python3 scripts/bench_gate.py \
   --baseline BENCH_baseline_adaptive.json=build/artifacts/adaptive.json \
   --baseline BENCH_baseline_durability.json=build/artifacts/durability.json \
   --baseline BENCH_baseline_generational.json=build/artifacts/generational.json \
-  --baseline BENCH_baseline_flightrec.json=build/artifacts/flightrec.json
+  --baseline BENCH_baseline_flightrec.json=build/artifacts/flightrec.json \
+  --baseline BENCH_baseline_fleet.json=build/artifacts/fleet.json
 
 echo "=== flight-recorder incident validation ==="
 python3 scripts/fr_analyze.py build/artifacts/fr --validate
+python3 scripts/fr_analyze.py build/artifacts/fr-fleet --validate
 
 echo "=== retained bench artifacts ==="
 ls -l build*/artifacts/ 2>/dev/null || true

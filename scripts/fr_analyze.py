@@ -70,6 +70,17 @@ def load(path):
 def validate_incident(path, doc):
     if doc.get("schema") != "nvmgc.incident.v1":
         fail(f"{path}: schema is {doc.get('schema')!r}, want 'nvmgc.incident.v1'")
+    # Optional fleet tag: multi-tenant Vms stamp their tenant label into the
+    # dump (and the file name) so one shared incident directory stays
+    # attributable per tenant.
+    if "tenant" in doc:
+        if not isinstance(doc["tenant"], str) or not doc["tenant"]:
+            fail(f"{path}: tenant tag present but not a non-empty string: "
+                 f"{doc['tenant']!r}")
+        base = os.path.basename(path)
+        if not base.startswith(f"incident-{doc['tenant']}-"):
+            fail(f"{path}: file name does not carry the tenant tag "
+                 f"{doc['tenant']!r} (want incident-{doc['tenant']}-<seq>.json)")
     trigger = doc.get("trigger")
     if not isinstance(trigger, dict):
         fail(f"{path}: missing trigger object")
@@ -131,6 +142,8 @@ def mb(nbytes):
 def print_incident(path, doc, top):
     trigger = doc["trigger"]
     print(f"=== {path}")
+    if doc.get("tenant"):
+        print(f"  tenant: {doc['tenant']}")
     print(f"  trigger: {trigger['kind']} at pause {trigger['pause_id']} "
           f"(observed {trigger['observed_ns'] / 1e6:.3f} ms, "
           f"threshold {trigger['threshold_ns'] / 1e6:.3f} ms)")

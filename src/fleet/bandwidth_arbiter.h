@@ -1,0 +1,99 @@
+// Per-tenant bandwidth budget enforcement for one shared NVM device.
+//
+// The arbiter closes fixed accounting windows of simulated time. For each
+// window it receives the bytes every tenant moved on the device and returns a
+// per-tenant stall: simulated ns the tenant must idle before issuing more
+// traffic (the FleetManager applies the stall by advancing the tenant's
+// application clock). The policy, in priority order:
+//
+//   * A tenant with no budget (budget_mbps <= 0) is never throttled.
+//   * Serving-tier tenants are never throttled: their budget is an
+//     entitlement the lower tiers are throttled *toward*, not a cap.
+//   * Nothing is throttled while the device is uncontended (fleet bytes in
+//     the window below contention_fraction of what the device could move):
+//     idle bandwidth is free, the arbiter is work-conserving.
+//   * Otherwise a batch/background tenant that moved more than
+//     grace x budget pays back the overshoot at its budget rate:
+//     stall = over_bytes / budget_rate, doubled for background
+//     (background_penalty) — and only when some strictly higher-priority
+//     tenant actually competed in the window (nonzero bytes), because
+//     throttling with no higher-priority demand would just idle the device.
+//
+// Pure simulated-time bookkeeping: no Vm or device dependencies, fully
+// deterministic, unit-testable in isolation.
+
+#ifndef NVMGC_SRC_FLEET_BANDWIDTH_ARBITER_H_
+#define NVMGC_SRC_FLEET_BANDWIDTH_ARBITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/fleet/qos.h"
+
+namespace nvmgc {
+
+struct ArbiterOptions {
+  // Accounting window width in simulated ns.
+  uint64_t window_ns = 1'000'000;
+  // Over-budget tolerance before a throttle: 1.10 = 10% slack, so tenants
+  // riding exactly at budget are not flapped by bucket-boundary noise.
+  double grace = 1.10;
+  // The device total the contention test compares against. <= 0 (the
+  // default) means "always contended" — budgets are strict contracts. Set it
+  // (e.g. to an achievable device bandwidth) to make the arbiter
+  // work-conserving: under-capacity windows are never throttled.
+  double device_capacity_mbps = 0.0;
+  // A window counts as contended when fleet bytes exceed this fraction of
+  // device capacity x window.
+  double contention_fraction = 0.5;
+  // Background overshoot is paid back at this multiple of the base stall.
+  double background_penalty = 2.0;
+  // Stall ceiling, in windows, so a pathological burst cannot freeze a
+  // tenant for the rest of the run.
+  double max_stall_windows = 8.0;
+};
+
+struct ArbiterTenantStats {
+  uint64_t windows_throttled = 0;
+  uint64_t total_stall_ns = 0;
+  uint64_t total_bytes = 0;
+};
+
+class BandwidthArbiter {
+ public:
+  explicit BandwidthArbiter(const ArbiterOptions& options) : options_(options) {}
+
+  // Registers a tenant; ids are assigned densely in call order and must match
+  // the indices of the byte vectors handed to EndWindow.
+  uint32_t AddTenant(QosTier tier, double budget_mbps);
+
+  // Closes one accounting window; bytes[i] is tenant i's device traffic
+  // during it. Returns the per-tenant stall in simulated ns.
+  std::vector<uint64_t> EndWindow(const std::vector<uint64_t>& bytes);
+
+  size_t tenant_count() const { return tenants_.size(); }
+  uint64_t windows_closed() const { return windows_closed_; }
+  const ArbiterTenantStats& stats(uint32_t tenant) const { return tenants_[tenant].stats; }
+  QosTier tier(uint32_t tenant) const { return tenants_[tenant].tier; }
+  double budget_mbps(uint32_t tenant) const { return tenants_[tenant].budget_mbps; }
+  const ArbiterOptions& options() const { return options_; }
+
+  // Budget converted to bytes per window (what EndWindow compares against).
+  uint64_t BudgetBytesPerWindow(uint32_t tenant) const;
+
+ private:
+  struct Tenant {
+    QosTier tier = QosTier::kBatch;
+    double budget_mbps = 0.0;
+    ArbiterTenantStats stats;
+  };
+
+  ArbiterOptions options_;
+  std::vector<Tenant> tenants_;
+  uint64_t windows_closed_ = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_FLEET_BANDWIDTH_ARBITER_H_

@@ -1,0 +1,35 @@
+// QoS tiers for multi-tenant fleets sharing one NVM device.
+//
+// Lower numeric value = higher priority. The tier ordering is the arbiter's
+// whole contract: serving tenants' budgets are entitlements (never throttled),
+// batch tenants are throttled when over budget under contention, background
+// tenants pay a penalty multiplier on top (see BandwidthArbiter).
+
+#ifndef NVMGC_SRC_FLEET_QOS_H_
+#define NVMGC_SRC_FLEET_QOS_H_
+
+#include <cstdint>
+
+namespace nvmgc {
+
+enum class QosTier : uint8_t {
+  kServing = 0,     // Latency-sensitive (Cassandra-style request serving).
+  kBatch = 1,       // Throughput jobs with deadlines (Spark-style analytics).
+  kBackground = 2,  // Best-effort churn (compaction, rebuilds, crons).
+};
+
+inline const char* QosTierName(QosTier tier) {
+  switch (tier) {
+    case QosTier::kServing:
+      return "serving";
+    case QosTier::kBatch:
+      return "batch";
+    case QosTier::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_FLEET_QOS_H_

@@ -3,6 +3,7 @@
 #ifndef NVMGC_SRC_GC_GC_STATS_H_
 #define NVMGC_SRC_GC_GC_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -46,9 +46,11 @@ Heap::Heap(const HeapConfig& config, MemoryDevice* heap_device, MemoryDevice* dr
 
   // Bind each device's per-region access heatmap to the arena it serves, so
   // every access charged from now on is attributed to its heap region.
-  heap_device_->heatmap().Configure(heap_base_, config.region_bytes, heap_region_count_);
+  // AddArena (not Configure) keeps co-tenant arenas intact when the heap
+  // device is shared across Vms (fleet mode).
+  heap_device_->heatmap().AddArena(heap_base_, config.region_bytes, heap_region_count_);
   if (cache_region_count_ > 0) {
-    dram_device_->heatmap().Configure(cache_base_, config.region_bytes, cache_region_count_);
+    dram_device_->heatmap().AddArena(cache_base_, config.region_bytes, cache_region_count_);
   }
 }
 

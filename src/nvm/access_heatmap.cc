@@ -7,20 +7,37 @@
 namespace nvmgc {
 
 void AccessHeatmap::Configure(uint64_t base, uint64_t region_bytes, uint32_t regions) {
-  base_ = base;
-  region_bytes_ = region_bytes;
-  std::vector<Slot> fresh(regions);
-  slots_.swap(fresh);
+  arenas_.clear();
+  slots_.clear();
+  AddArena(base, region_bytes, regions);
+}
+
+uint32_t AccessHeatmap::AddArena(uint64_t base, uint64_t region_bytes, uint32_t regions) {
+  Arena arena;
+  arena.base = base;
+  arena.end = base + region_bytes * regions;
+  arena.region_bytes = region_bytes;
+  arena.slot_offset = slots_.size();
+  arenas_.push_back(arena);
+  for (uint32_t i = 0; i < regions; ++i) {
+    slots_.emplace_back();
+  }
+  return static_cast<uint32_t>(arena.slot_offset);
 }
 
 void AccessHeatmap::Charge(const AccessDescriptor& d) {
-  if (region_bytes_ == 0 || d.address < base_) {
+  const Arena* arena = nullptr;
+  for (const Arena& a : arenas_) {
+    if (d.address >= a.base && d.address < a.end) {
+      arena = &a;
+      break;
+    }
+  }
+  if (arena == nullptr) {
     return;
   }
-  const uint64_t slot_index = (d.address - base_) / region_bytes_;
-  if (slot_index >= slots_.size()) {
-    return;
-  }
+  const uint64_t slot_index =
+      arena->slot_offset + (d.address - arena->base) / arena->region_bytes;
   Slot& slot = slots_[slot_index];
   if (d.op == AccessOp::kRead) {
     slot.read_bytes.fetch_add(d.bytes, std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,15 @@ struct HeatmapTotals {
 
 // Thread-safe (relaxed atomics — the heatmap feeds evidence, not invariants).
 // Unconfigured heatmaps ignore every charge; addresses outside the configured
-// arena are ignored too (mutator handles and other host memory).
+// arenas are ignored too (mutator handles and other host memory).
+//
+// A heatmap covers one or more disjoint arenas: a private device has one (its
+// Vm's heap arena), a shared fleet device has one per tenant Vm. Slots are
+// numbered across arenas in registration order, so `region` in RegionHeat is
+// a global slot index. Arenas must be registered (at Vm/Heap construction)
+// before their addresses see traffic; registration is not thread-safe against
+// concurrent Charge on the *same* heatmap configuration step, matching how
+// Vms are constructed.
 class AccessHeatmap {
  public:
   AccessHeatmap() = default;
@@ -69,10 +78,14 @@ class AccessHeatmap {
   AccessHeatmap(const AccessHeatmap&) = delete;
   AccessHeatmap& operator=(const AccessHeatmap&) = delete;
 
-  // Covers [base, base + region_bytes * regions) with one slot per region.
-  // Reconfiguring resets all slots.
+  // Drops every arena, then covers [base, base + region_bytes * regions) with
+  // one slot per region (single-arena compatibility entry point).
   void Configure(uint64_t base, uint64_t region_bytes, uint32_t regions);
-  bool configured() const { return region_bytes_ != 0; }
+  // Appends an arena without touching existing ones; returns its first slot
+  // index. Used by Heaps binding onto a shared device.
+  uint32_t AddArena(uint64_t base, uint64_t region_bytes, uint32_t regions);
+  bool configured() const { return !arenas_.empty(); }
+  uint32_t arena_count() const { return static_cast<uint32_t>(arenas_.size()); }
   uint32_t regions() const { return static_cast<uint32_t>(slots_.size()); }
 
   void Charge(const AccessDescriptor& d);
@@ -97,9 +110,17 @@ class AccessHeatmap {
     std::atomic<uint64_t> last_write_end{0};
   };
 
-  uint64_t base_ = 0;
-  uint64_t region_bytes_ = 0;
-  std::vector<Slot> slots_;
+  struct Arena {
+    uint64_t base = 0;
+    uint64_t end = 0;
+    uint64_t region_bytes = 0;
+    size_t slot_offset = 0;
+  };
+
+  // Slots live in a deque: atomics are immovable, and AddArena must grow the
+  // slot store without relocating slots other threads are charging.
+  std::vector<Arena> arenas_;
+  std::deque<Slot> slots_;
 };
 
 }  // namespace nvmgc

@@ -15,12 +15,15 @@ BandwidthLedger::Bucket* BandwidthLedger::BucketFor(uint64_t epoch) {
       b.read_bytes.store(0, std::memory_order_relaxed);
       b.write_bytes.store(0, std::memory_order_relaxed);
       b.nt_bytes.store(0, std::memory_order_relaxed);
+      for (auto& t : b.tenant_bytes) {
+        t.store(0, std::memory_order_relaxed);
+      }
     }
   }
   return &b;
 }
 
-void BandwidthLedger::Charge(uint64_t now_ns, const AccessDescriptor& d) {
+void BandwidthLedger::Charge(uint64_t now_ns, const AccessDescriptor& d, uint8_t tenant) {
   Bucket* b = BucketFor(now_ns / bucket_ns_);
   if (d.op == AccessOp::kRead) {
     b->read_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
@@ -30,6 +33,44 @@ void BandwidthLedger::Charge(uint64_t now_ns, const AccessDescriptor& d) {
       b->nt_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
     }
   }
+  b->tenant_bytes[tenant % kMaxTenants].fetch_add(d.bytes, std::memory_order_relaxed);
+}
+
+BandwidthLedger::TenantOccupancy BandwidthLedger::SampleTenantOccupancy(
+    uint64_t now_ns, uint8_t tenant, int window_buckets) const {
+  const uint64_t current = now_ns / bucket_ns_;
+  uint64_t per_tenant[kMaxTenants] = {};
+  for (int i = 0; i < window_buckets; ++i) {
+    if (current < static_cast<uint64_t>(i)) {
+      break;
+    }
+    const uint64_t epoch = current - static_cast<uint64_t>(i);
+    const Bucket& b = ring_[epoch % kRingSize];
+    if (b.epoch.load(std::memory_order_relaxed) != epoch) {
+      continue;
+    }
+    for (uint32_t t = 0; t < kMaxTenants; ++t) {
+      per_tenant[t] += b.tenant_bytes[t].load(std::memory_order_relaxed);
+    }
+  }
+  TenantOccupancy occ;
+  occ.active_tenants = 0;
+  for (uint32_t t = 0; t < kMaxTenants; ++t) {
+    occ.total_bytes += per_tenant[t];
+    if (per_tenant[t] > 0) {
+      ++occ.active_tenants;
+    }
+  }
+  occ.own_bytes = per_tenant[tenant % kMaxTenants];
+  if (occ.own_bytes == 0) {
+    // The sampling tenant is about to issue traffic: it is active even when
+    // its window history is empty.
+    ++occ.active_tenants;
+  }
+  if (occ.active_tenants == 0) {
+    occ.active_tenants = 1;
+  }
+  return occ;
 }
 
 bool BandwidthLedger::ReadBucket(uint64_t epoch, BucketSample* out) const {

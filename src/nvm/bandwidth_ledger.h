@@ -26,13 +26,17 @@ struct BandwidthSample {
 // a statistical model, not a correctness invariant.
 class BandwidthLedger {
  public:
+  // Tenants a shared device can attribute traffic to. Single-Vm devices only
+  // ever use tenant 0.
+  static constexpr uint32_t kMaxTenants = 8;
+
   // `bucket_ns` is the bucket width in simulated nanoseconds. The defaults
   // (150 us buckets, 3-bucket sampling window) make the mix estimate adapt
   // within ~0.5 ms of simulated time — fast enough to see the read-mostly /
   // write-only phase separation the write cache creates.
   explicit BandwidthLedger(uint64_t bucket_ns = 150'000);
 
-  void Charge(uint64_t now_ns, const AccessDescriptor& d);
+  void Charge(uint64_t now_ns, const AccessDescriptor& d, uint8_t tenant = 0);
 
   struct Mix {
     double write_fraction = 0.0;
@@ -55,6 +59,26 @@ class BandwidthLedger {
   // epoch; the DeviceTimeline sampler counts that as a missing bucket.
   bool ReadBucket(uint64_t epoch, BucketSample* out) const;
 
+  // Occupancy of one tenant relative to the whole window, for the contention
+  // model (BandwidthModel::TenantShareFraction).
+  struct TenantOccupancy {
+    uint64_t own_bytes = 0;
+    uint64_t total_bytes = 0;
+    // Tenants with nonzero bytes in the window; the sampling tenant always
+    // counts as active (it is issuing the access being costed).
+    uint32_t active_tenants = 1;
+
+    double own_fraction() const {
+      if (total_bytes == 0) {
+        return 1.0;
+      }
+      return static_cast<double>(own_bytes) / static_cast<double>(total_bytes);
+    }
+  };
+  // Per-tenant occupancy over the last `window_buckets` buckets at `now_ns`.
+  TenantOccupancy SampleTenantOccupancy(uint64_t now_ns, uint8_t tenant,
+                                        int window_buckets = 3) const;
+
   uint64_t bucket_ns() const { return bucket_ns_; }
   static constexpr int ring_size() { return kRingSize; }
 
@@ -64,6 +88,11 @@ class BandwidthLedger {
     std::atomic<uint64_t> read_bytes{0};
     std::atomic<uint64_t> write_bytes{0};
     std::atomic<uint64_t> nt_bytes{0};
+    // Byte totals split by tenant (shared devices; single-Vm traffic all
+    // lands in slot 0). Kept alongside the direction split rather than as a
+    // tenant x direction matrix: the contention model needs occupancy, the
+    // mix model needs direction, and no consumer needs both at once.
+    std::atomic<uint64_t> tenant_bytes[kMaxTenants] = {};
   };
 
   static constexpr int kRingSize = 64;

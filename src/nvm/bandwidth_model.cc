@@ -55,6 +55,16 @@ double BandwidthModel::TotalBandwidthMbps(const MixState& mix) const {
   return base * MixInterference(w, std::clamp(mix.nt_write_fraction, 0.0, w));
 }
 
+double BandwidthModel::TenantShareFraction(double own_fraction, uint32_t active_tenants) const {
+  if (active_tenants <= 1) {
+    return 1.0;
+  }
+  const double t = static_cast<double>(active_tenants);
+  const double f = std::clamp(own_fraction, 0.0, 1.0);
+  const double share = std::min(1.0, std::max(f, 1.0 / t));
+  return share / (1.0 + profile_.tenant_interference * (t - 1.0));
+}
+
 double BandwidthModel::PatternFraction(AccessOp op, AccessPattern pattern) const {
   if (pattern == AccessPattern::kSequential) {
     return 1.0;

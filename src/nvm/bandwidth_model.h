@@ -46,6 +46,22 @@ class BandwidthModel {
   // own spatial pattern.
   double PatternFraction(AccessOp op, AccessPattern pattern) const;
 
+  // Fraction of the device total one tenant can claim when `active_tenants`
+  // tenants have traffic in the recent ledger window. The documented curve
+  // (tests assert it exactly):
+  //
+  //   share(f, T) = 1.0                                         for T <= 1
+  //   share(f, T) = min(1, max(f, 1/T)) / (1 + kappa * (T - 1)) for T >= 2
+  //
+  // where f is the tenant's byte fraction of the window and kappa is
+  // DeviceProfile::tenant_interference. The max(f, 1/T) floor guarantees an
+  // idle-ish tenant still gets an equal share the moment it issues traffic
+  // (the device schedules per-request, not per-history); the 1/(1+kappa(T-1))
+  // factor is the efficiency the device loses to interleaving the streams —
+  // the co-location penalty measured on real Optane (see PAPERS.md: HPC-NVM
+  // characterization; Optane system evaluation).
+  double TenantShareFraction(double own_fraction, uint32_t active_tenants) const;
+
   const DeviceProfile& profile() const { return profile_; }
 
  private:

@@ -20,6 +20,7 @@ DeviceProfile MakeDramProfile() {
   p.write_contention_decline = 0.0;
   p.mix_interference = 0.15;
   p.nt_interference_discount = 1.0;
+  p.tenant_interference = 0.03;  // Channel interleaving absorbs most of it.
   p.flush_line_ns = 20;  // CLWB retire + writeback overlap.
   p.fence_ns = 30;       // SFENCE with a shallow store buffer.
   p.dollars_per_gb = 7.81;
@@ -44,6 +45,7 @@ DeviceProfile MakeOptaneProfile() {
   p.write_contention_decline = 0.006;
   p.mix_interference = 3.8;
   p.nt_interference_discount = 0.35;
+  p.tenant_interference = 0.12;  // Interleaved tenants thrash the XPBuffer.
   p.flush_line_ns = 40;  // CLWB into the on-DIMM write-pending queue.
   p.fence_ns = 500;      // SFENCE waits for the WPQ to drain to ADR domain.
   p.dollars_per_gb = 3.01;

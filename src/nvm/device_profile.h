@@ -59,6 +59,13 @@ struct DeviceProfile {
   // Non-temporal stores interfere less: their write fraction is scaled by
   // this factor before the interference term is computed.
   double nt_interference_discount = 1.0;
+  // --- Cross-tenant interference (shared-device fleets) ---
+  // Per-co-tenant efficiency loss when several tenants' access streams
+  // interleave on one device: each extra *active* tenant multiplies the
+  // device total by 1 / (1 + tenant_interference). Optane loses real
+  // efficiency to interleaving (XPBuffer thrash, lost prefetch locality);
+  // DRAM loses little. See BandwidthModel::TenantShareFraction.
+  double tenant_interference = 0.0;
 
   // --- Persistence costs (durability mode; see src/nvm/persist_ledger.h) ---
   // Cost of flushing one dirty 64B cache line to the device's persistence

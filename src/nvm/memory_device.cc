@@ -11,6 +11,48 @@ namespace nvmgc {
 
 MemoryDevice::MemoryDevice(DeviceProfile profile) : model_(profile) {}
 
+void MemoryDevice::BindTenantRange(uint8_t tenant, uint64_t base, uint64_t bytes) {
+  NVMGC_CHECK_MSG(tenant < kMaxTenants, "tenant id out of range: a shared device supports "
+                                        "at most BandwidthLedger::kMaxTenants tenants");
+  const uint32_t count = tenant_range_count_.load(std::memory_order_relaxed);
+  NVMGC_CHECK_MSG(count < kMaxTenantRanges, "too many tenant ranges bound to one device");
+  tenant_ranges_[count] = TenantRange{tenant, base, base + bytes};
+  // Publish the range after its fields are written; readers that miss the new
+  // count attribute a brief prefix of traffic to tenant 0, which is fine —
+  // Vms bind their arena before issuing any traffic against it.
+  tenant_range_count_.store(count + 1, std::memory_order_release);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (tenant_ranges_[i].tenant != tenant) {
+      multi_tenant_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint8_t MemoryDevice::TenantFor(uint64_t address) const {
+  const uint32_t count = tenant_range_count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < count; ++i) {
+    const TenantRange& r = tenant_ranges_[i];
+    if (address >= r.base && address < r.end) {
+      return r.tenant;
+    }
+  }
+  return 0;
+}
+
+DeviceCounters MemoryDevice::tenant_counters(uint8_t tenant) const {
+  DeviceCounters c;
+  if (tenant >= kMaxTenants) {
+    return c;
+  }
+  const TenantCounters& t = tenant_counters_[tenant];
+  c.read_bytes = t.read_bytes.load(std::memory_order_relaxed);
+  c.write_bytes = t.write_bytes.load(std::memory_order_relaxed);
+  c.nt_write_bytes = t.nt_write_bytes.load(std::memory_order_relaxed);
+  c.read_ops = t.read_ops.load(std::memory_order_relaxed);
+  c.write_ops = t.write_ops.load(std::memory_order_relaxed);
+  return c;
+}
+
 uint64_t MemoryDevice::CostNs(uint64_t now_ns, const AccessDescriptor& d) const {
   const DeviceProfile& p = model_.profile();
 
@@ -34,9 +76,18 @@ uint64_t MemoryDevice::CostNs(uint64_t now_ns, const AccessDescriptor& d) const 
   mix.nt_write_fraction = window.nt_write_fraction;
   mix.active_threads = active_threads();
   const double total_mbps = model_.TotalBandwidthMbps(mix);
-  const double share_mbps = std::max(
-      1.0, total_mbps / static_cast<double>(mix.active_threads) *
-               model_.PatternFraction(d.op, d.pattern));
+  double share_mbps = total_mbps / static_cast<double>(mix.active_threads) *
+                      model_.PatternFraction(d.op, d.pattern);
+  if (multi_tenant_.load(std::memory_order_relaxed)) {
+    // Shared device: scale this tenant's share by its occupancy-derived
+    // fraction of the device (plus the cross-tenant interleaving penalty).
+    // Devices with zero or one bound tenant never reach this branch, so the
+    // single-Vm cost function is bit-identical to the pre-fleet model.
+    const uint8_t tenant = TenantFor(d.address);
+    const BandwidthLedger::TenantOccupancy occ = ledger_.SampleTenantOccupancy(now_ns, tenant);
+    share_mbps *= model_.TenantShareFraction(occ.own_fraction(), occ.active_tenants);
+  }
+  share_mbps = std::max(1.0, share_mbps);
   // 1 MB/s == 1e6 bytes / 1e9 ns, so ns = bytes * 1000 / MBps.
   const double bw_ns = static_cast<double>(d.bytes) * 1000.0 / share_mbps;
 
@@ -52,7 +103,9 @@ uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
   }
   clock->Advance(cost);
 
-  ledger_.Charge(now, d);
+  const uint8_t tenant =
+      tenant_range_count_.load(std::memory_order_relaxed) > 0 ? TenantFor(d.address) : 0;
+  ledger_.Charge(now, d, tenant);
   heatmap_.Charge(d);
   if (d.op == AccessOp::kWrite && persist_.enabled()) {
     persist_.NoteWrite(d.address, d.bytes);
@@ -61,14 +114,20 @@ uint64_t MemoryDevice::Access(SimClock* clock, const AccessDescriptor& d) {
     recorder_->Charge(now, d);
   }
 
+  TenantCounters& tc = tenant_counters_[tenant];
   if (d.op == AccessOp::kRead) {
     read_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
     read_ops_.fetch_add(1, std::memory_order_relaxed);
+    tc.read_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+    tc.read_ops.fetch_add(1, std::memory_order_relaxed);
   } else {
     write_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
     write_ops_.fetch_add(1, std::memory_order_relaxed);
+    tc.write_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
+    tc.write_ops.fetch_add(1, std::memory_order_relaxed);
     if (d.non_temporal) {
       nt_write_bytes_.fetch_add(d.bytes, std::memory_order_relaxed);
+      tc.nt_write_bytes.fetch_add(d.bytes, std::memory_order_relaxed);
     }
   }
   return cost;
@@ -96,6 +155,12 @@ void MemoryDevice::ExportMetrics(MetricsRegistry* metrics, const std::string& pr
 }
 
 void MemoryDevice::StartRecording(uint64_t now_ns, uint64_t bucket_ns, size_t max_buckets) {
+  // Replacing the recorder while other threads may still be charging it is a
+  // use-after-free; on a shared (fleet) device it would also silently steal a
+  // co-tenant's recording. One recorder per device at a time.
+  NVMGC_CHECK_MSG(!recording_.load(std::memory_order_acquire),
+                  "StartRecording while a recording is active: call StopRecording first "
+                  "(shared devices get one bandwidth recorder, not one per tenant)");
   recorder_ = std::make_unique<BandwidthRecorder>(bucket_ns, max_buckets);
   recorder_->Start(now_ns);
   recording_.store(true, std::memory_order_release);

@@ -48,6 +48,8 @@ struct DeviceCounters {
 
 class MemoryDevice {
  public:
+  static constexpr uint32_t kMaxTenants = BandwidthLedger::kMaxTenants;
+
   explicit MemoryDevice(DeviceProfile profile);
 
   // Charges `clock` for the access and returns the charged nanoseconds.
@@ -58,6 +60,25 @@ class MemoryDevice {
   // Nominal cost preview without charging, accounting, or fault perturbation
   // (used by tests/models).
   uint64_t CostNs(uint64_t now_ns, const AccessDescriptor& d) const;
+
+  // --- Multi-tenant sharing (fleet mode) ---
+  // Attributes the address range [base, base + bytes) to `tenant`: every
+  // access landing in it charges that tenant's ledger occupancy and counters.
+  // Each Vm sharing the device binds its heap arena once at construction;
+  // binding must finish before the range sees traffic (ranges are appended
+  // lock-free for readers, but registration itself is not thread-safe).
+  // Unbound addresses (and all traffic on a device with no bindings) belong
+  // to tenant 0.
+  void BindTenantRange(uint8_t tenant, uint64_t base, uint64_t bytes);
+  uint8_t TenantFor(uint64_t address) const;
+  // True once ranges from two or more distinct tenants are bound — only then
+  // does the cross-tenant contention term enter CostNs, so single-Vm devices
+  // behave exactly as before.
+  bool multi_tenant() const { return multi_tenant_.load(std::memory_order_relaxed); }
+  // Lifetime traffic attributed to `tenant`. The regression invariant a
+  // shared device must keep: summing tenant_counters over all tenants equals
+  // counters().
+  DeviceCounters tenant_counters(uint8_t tenant) const;
 
   // Fault injection: attach a (non-owned) injector whose plan perturbs every
   // subsequent access; pass nullptr to detach. The injector must outlive its
@@ -115,6 +136,23 @@ class MemoryDevice {
   DeviceKind kind() const { return model_.profile().kind; }
 
  private:
+  // One bound tenant address range. A fixed array + atomic count keeps
+  // TenantFor lock-free for the access hot path.
+  struct TenantRange {
+    uint8_t tenant = 0;
+    uint64_t base = 0;
+    uint64_t end = 0;
+  };
+  static constexpr size_t kMaxTenantRanges = 16;
+
+  struct TenantCounters {
+    std::atomic<uint64_t> read_bytes{0};
+    std::atomic<uint64_t> write_bytes{0};
+    std::atomic<uint64_t> nt_write_bytes{0};
+    std::atomic<uint64_t> read_ops{0};
+    std::atomic<uint64_t> write_ops{0};
+  };
+
   BandwidthModel model_;
   BandwidthLedger ledger_;
   AccessHeatmap heatmap_;
@@ -126,6 +164,11 @@ class MemoryDevice {
   std::atomic<uint64_t> nt_write_bytes_{0};
   std::atomic<uint64_t> read_ops_{0};
   std::atomic<uint64_t> write_ops_{0};
+
+  TenantRange tenant_ranges_[kMaxTenantRanges];
+  std::atomic<uint32_t> tenant_range_count_{0};
+  std::atomic<bool> multi_tenant_{false};
+  TenantCounters tenant_counters_[kMaxTenants];
 
   std::atomic<bool> recording_{false};
   std::unique_ptr<BandwidthRecorder> recorder_;

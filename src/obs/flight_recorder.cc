@@ -227,7 +227,10 @@ bool FlightRecorder::WriteIncident(const std::string& dir, const FrTriggerInfo& 
                                    std::string* out_path) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  const std::string base = "incident-" + std::to_string(next_incident_seq_);
+  const std::string base = options_.tenant.empty()
+                               ? "incident-" + std::to_string(next_incident_seq_)
+                               : "incident-" + options_.tenant + "-" +
+                                     std::to_string(next_incident_seq_);
   const std::string trace_name = base + ".trace.json";
   const std::filesystem::path incident_path = std::filesystem::path(dir) / (base + ".json");
   const std::filesystem::path trace_path = std::filesystem::path(dir) / trace_name;
@@ -253,6 +256,9 @@ std::string FlightRecorder::SerializeIncident(const FrTriggerInfo& trigger,
   std::string out;
   out.reserve(1 << 16);
   out += "{\"schema\":\"nvmgc.incident.v1\",";
+  if (!options_.tenant.empty()) {
+    AppendStr(&out, "tenant", options_.tenant);
+  }
   out += "\"trigger\":{";
   AppendStr(&out, "kind", FrTriggerName(trigger.kind));
   AppendU64(&out, "pause_id", trigger.pause_id);

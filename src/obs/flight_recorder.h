@@ -65,6 +65,12 @@ struct FlightRecorderOptions {
   std::string dump_dir;
   // Auto-dump budget per recorder; explicit/crash dumps are not counted.
   size_t max_dumps = 4;
+  // Tenant tag for fleet runs: non-empty makes incident files
+  // `incident-<tenant>-<seq>.json` (instead of `incident-<seq>.json`) and
+  // adds a "tenant" field to the incident JSON, so co-tenant Vms dumping
+  // into one directory never collide. Vm fills this from its tenant
+  // label/id when running on a shared heap device.
+  std::string tenant;
 };
 
 enum class FrTrigger : uint8_t {

@@ -75,6 +75,30 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   return names;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& src, const std::string& prefix) {
+  for (const auto& [name, value] : src.counters_) {
+    AddCounter(prefix + name, value);
+  }
+  for (const auto& [name, value] : src.gauges_) {
+    SetGauge(prefix + name, value);
+  }
+  for (const auto& [name, histogram] : src.histograms_) {
+    histograms_[prefix + name].Merge(histogram);
+  }
+  for (const PauseSnapshot& pause : src.pauses_) {
+    PauseSnapshot prefixed;
+    prefixed.id = pause.id;
+    prefixed.start_ns = pause.start_ns;
+    for (const auto& [name, value] : pause.values) {
+      prefixed.values[prefix + name] = value;
+    }
+    // Appended directly (not via RecordPause): the merged counters above
+    // already carry these values, and double-adding would break the
+    // snapshot-vs-aggregate consistency MergeFrom preserves.
+    pauses_.push_back(std::move(prefixed));
+  }
+}
+
 void MetricsRegistry::RecordPause(PauseSnapshot snapshot) {
   for (const auto& [name, value] : snapshot.values) {
     AddCounter(name, value);

@@ -65,6 +65,14 @@ class MetricsRegistry {
   std::vector<std::string> CounterNames() const;
   std::vector<std::string> HistogramNames() const;
 
+  // Merges `src` into this registry with every name prefixed — the fleet
+  // roll-up: FleetManager merges each tenant Vm's registry under
+  // "tenant.<id>.". Counters add, gauges last-write-wins, histograms merge,
+  // and pause snapshots are appended with prefixed value keys (ids and start
+  // times kept, so per-tenant pause streams stay distinguishable and
+  // correctly timestamped).
+  void MergeFrom(const MetricsRegistry& src, const std::string& prefix);
+
   // --- Per-pause snapshots ---
   // Records one pause: every snapshot value is also added to the lifetime
   // counter of the same name, so snapshot-vs-aggregate stays consistent by

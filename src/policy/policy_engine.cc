@@ -39,6 +39,9 @@ constexpr double kAsyncOnTaintFraction = 0.20;
 // fences once per worker batch, so backing off async is the one knob that
 // directly removes fences.
 constexpr double kPersistRetreatStallFraction = 0.25;
+// Fleet-arbiter stall share of the inter-pause interval above which the
+// tenant sheds GC threads (see DecideGcThreads).
+constexpr double kFleetThrottleStallFraction = 0.25;
 
 // Threads: the model comparison only applies when the pause was actually
 // device-bound; 2% margins make shrink/grow verdicts mutually exclusive.
@@ -327,12 +330,29 @@ void PolicyEngine::DecideAsyncFlush(const PolicySignals& s) {
 }
 
 void PolicyEngine::DecideGcThreads(const PolicySignals& s) {
-  if (!Ready(PolicyKnob::kGcThreads) || s.read_model_mbps <= 0.0) {
+  if (!Ready(PolicyKnob::kGcThreads)) {
     return;
   }
   const uint32_t cur = tuning_.active_gc_threads;
   const uint32_t step = std::max<uint32_t>(
       1, static_cast<uint32_t>(static_cast<double>(cur) * options_.adaptive.step_fraction / 2.0));
+  // Fleet citizenship: when the bandwidth arbiter is stalling this tenant
+  // (over budget while a higher QoS tier competes), more copy parallelism
+  // only deepens the overshoot the stalls repay. Step the fan-out down and
+  // let the cooldown window pace further shrinks while the throttling lasts.
+  const double fleet_stall = s.fleet_stall_fraction();
+  if (fleet_stall > kFleetThrottleStallFraction && cur > min_threads_) {
+    const uint32_t down = cur - std::min(cur - min_threads_, step);
+    tuning_.active_gc_threads = down;
+    Decide(PolicyKnob::kGcThreads, cur, down, /*retreat=*/false,
+           Format("fleet arbiter stalled %.0f%% of the interval - shed copy "
+                  "bandwidth demand",
+                  fleet_stall * 100.0));
+    return;
+  }
+  if (s.read_model_mbps <= 0.0) {
+    return;
+  }
   MixState mix;
   mix.write_fraction = s.read_interleave;
   mix.nt_write_fraction = 0.0;

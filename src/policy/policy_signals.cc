@@ -36,6 +36,10 @@ double PolicySignals::bandwidth_utilization() const {
 
 double PolicySignals::persist_stall_fraction() const { return Ratio(persist_ns, pause_ns); }
 
+double PolicySignals::fleet_stall_fraction() const {
+  return Ratio(fleet_stall_ns, fleet_interval_ns);
+}
+
 double PolicySignals::promoted_fraction() const {
   return Ratio(bytes_promoted, bytes_copied);
 }

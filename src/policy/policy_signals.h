@@ -63,6 +63,12 @@ struct PolicySignals {
   uint64_t persist_ns = 0;
   uint64_t persist_fences = 0;
 
+  // Fleet arbitration (all zero outside a FleetManager). Stall the bandwidth
+  // arbiter injected into this tenant since the previous pause, over the
+  // inter-pause application interval it accrued in.
+  uint64_t fleet_stall_ns = 0;
+  uint64_t fleet_interval_ns = 0;
+
   // Read-phase device behavior (means over the pause's timeline samples).
   double read_interleave = 0.0;   // Write share of the read-phase traffic.
   double read_mbps = 0.0;         // Observed read-direction bandwidth.
@@ -90,6 +96,8 @@ struct PolicySignals {
   double young_survival_fraction() const;
   // Share of the pause spent flushing and fencing for durability.
   double persist_stall_fraction() const;
+  // Share of the inter-pause interval the fleet arbiter stalled this tenant.
+  double fleet_stall_fraction() const;
 };
 
 // Assembles the signals for the pause `cycle` describes. `pause_id` is the

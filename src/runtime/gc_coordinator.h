@@ -1,0 +1,45 @@
+// Fleet-level GC pause coordination hook.
+//
+// A Vm that shares its heap device with co-tenant Vms (see VmOptions::
+// shared_heap_device) can be given a GcCoordinator; the FleetManager
+// implements it to stagger co-located write-back storms. The protocol:
+//
+//   1. Before a pause begins, the Vm asks OnPauseRequested how long to defer.
+//      A deferral advances the tenant's *application* clock — the tenant keeps
+//      mutating (in simulated time) while a co-tenant's write-back drains —
+//      and is bounded by the coordinator's own policy, never refused outright
+//      (the heap is exhausted; the pause must eventually run).
+//   2. After the pause, OnPauseFinished reports the pause window and how much
+//      of it was the write-back phase, which is what the coordinator tracks as
+//      the co-tenant "drain window" future requests defer around.
+//
+// Called on the requesting Vm's control thread. Under the FleetManager's
+// cooperative scheduler at most one tenant runs at a time, so implementations
+// need no locking of their own.
+
+#ifndef NVMGC_SRC_RUNTIME_GC_COORDINATOR_H_
+#define NVMGC_SRC_RUNTIME_GC_COORDINATOR_H_
+
+#include <cstdint>
+
+#include "src/gc/gc_stats.h"
+
+namespace nvmgc {
+
+class GcCoordinator {
+ public:
+  virtual ~GcCoordinator() = default;
+
+  // Returns the simulated ns `tenant` should defer a pause of `kind`
+  // requested at `now_ns` (0 = start immediately).
+  virtual uint64_t OnPauseRequested(uint32_t tenant, GcKind kind, uint64_t now_ns) = 0;
+
+  // Reports a finished pause: [start_ns, end_ns), of which the final
+  // `writeback_ns` were the write-back drain against the shared device.
+  virtual void OnPauseFinished(uint32_t tenant, GcKind kind, uint64_t start_ns,
+                               uint64_t end_ns, uint64_t writeback_ns) = 0;
+};
+
+}  // namespace nvmgc
+
+#endif  // NVMGC_SRC_RUNTIME_GC_COORDINATOR_H_

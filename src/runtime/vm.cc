@@ -8,6 +8,7 @@
 #include "src/gc/old_reclaim.h"
 #include "src/nvm/fault_injector.h"
 #include "src/recovery/commit_record.h"
+#include "src/runtime/gc_coordinator.h"
 #include "src/runtime/mutator.h"
 #include "src/util/check.h"
 
@@ -50,11 +51,30 @@ Vm::Vm(const VmOptions& options) : options_(options) {
     options_.heap.commit_area_bytes =
         std::max(options_.heap.commit_area_bytes, layout.total_bytes());
   }
-  heap_device_ = std::make_unique<MemoryDevice>(options_.heap.heap_device == DeviceKind::kNvm
-                                                    ? MakeOptaneProfile()
-                                                    : MakeDramProfile());
+  if (options_.shared_heap_device != nullptr) {
+    NVMGC_CHECK_MSG(options_.shared_heap_device->kind() == options_.heap.heap_device,
+                    "shared heap device kind does not match HeapConfig::heap_device");
+    NVMGC_CHECK_MSG(options_.tenant_id < MemoryDevice::kMaxTenants,
+                    "tenant_id out of range for a shared heap device");
+    NVMGC_CHECK_MSG(!options_.gc.durability.enabled,
+                    "durability mode is single-tenant: the persist ledger tracks one arena, "
+                    "so a Vm on a shared (fleet) heap device cannot enable it");
+    heap_device_ = options_.shared_heap_device;
+  } else {
+    owned_heap_device_ = std::make_unique<MemoryDevice>(
+        options_.heap.heap_device == DeviceKind::kNvm ? MakeOptaneProfile()
+                                                      : MakeDramProfile());
+    heap_device_ = owned_heap_device_.get();
+  }
   dram_device_ = std::make_unique<MemoryDevice>(MakeDramProfile());
-  heap_ = std::make_unique<Heap>(options_.heap, heap_device_.get(), dram_device_.get());
+  heap_ = std::make_unique<Heap>(options_.heap, heap_device_, dram_device_.get());
+  if (options_.shared_heap_device != nullptr) {
+    // Attribute this Vm's whole arena (regions + commit area) to its tenant:
+    // the device resolves contention shares and per-tenant counters by range.
+    heap_device_->BindTenantRange(
+        static_cast<uint8_t>(options_.tenant_id), heap_->heap_base(),
+        heap_->heap_arena_bytes() + heap_->commit_area_bytes());
+  }
   if (options_.gc.durability.enabled) {
     // Track persist state for the whole durable range: heap regions plus the
     // commit area (records and redo logs obey the same flush/fence rules).
@@ -79,10 +99,17 @@ Vm::Vm(const VmOptions& options) : options_(options) {
       break;
   }
   collector_->set_tracer(tracer_.get());
-  timeline_ = std::make_unique<DeviceTimeline>(heap_device_.get());
+  timeline_ = std::make_unique<DeviceTimeline>(heap_device_);
   collector_->set_timeline(timeline_.get());
   site_profiler_ = std::make_unique<AllocSiteProfiler>();
   collector_->set_site_profiler(site_profiler_.get());
+  if (options_.flight_recorder.tenant.empty() && options_.shared_heap_device != nullptr) {
+    // Tag fleet incidents with the tenant so co-tenant dumps into one
+    // directory never collide (see FlightRecorder::WriteIncident).
+    options_.flight_recorder.tenant =
+        options_.tenant_label.empty() ? "t" + std::to_string(options_.tenant_id)
+                                      : options_.tenant_label;
+  }
   flight_recorder_ = std::make_unique<FlightRecorder>(options_.flight_recorder);
   flight_recorder_->set_site_profiler(site_profiler_.get());
   if (options.gc.adaptive.enabled) {
@@ -165,6 +192,19 @@ GcCycleStats Vm::CollectNow() {
 }
 
 GcCycleStats Vm::CollectNow(GcKind kind) {
+  if (coordinator_ != nullptr) {
+    // Fleet pause scheduling: the coordinator may defer this pause (in
+    // simulated time) so it does not land inside a co-tenant's write-back
+    // drain. The deferral is application time — the tenant keeps running.
+    const uint64_t defer_ns =
+        coordinator_->OnPauseRequested(options_.tenant_id, kind, clock_.now_ns());
+    if (defer_ns > 0) {
+      clock_.Advance(defer_ns);
+      metrics_.AddCounter("fleet.pauses_deferred", 1);
+      metrics_.AddCounter("fleet.pause_defer_ns", defer_ns);
+    }
+  }
+  const uint64_t pause_start_ns = clock_.now_ns();
   const DeviceCounters dram_before = dram_device_->counters();
   const size_t timeline_from = timeline_->size();
   const uint64_t pause_id = metrics_.pauses().size();
@@ -190,8 +230,15 @@ GcCycleStats Vm::CollectNow(GcKind kind) {
 
   // Feedback step: turn this pause's signals into the next pause's tuning.
   if (policy_ != nullptr) {
-    const PolicySignals signals =
+    PolicySignals signals =
         CollectPolicySignals(cycle, collector_->stats().gc_count(), timeline_.get());
+    // Fleet stall accrued since the previous pause, over the application
+    // interval it accrued in (stalls advance the clock, so they are part of
+    // the interval by construction).
+    signals.fleet_stall_ns = fleet_stall_accum_ - fleet_stall_seen_;
+    signals.fleet_interval_ns =
+        pause_start_ns > last_pause_end_ns_ ? pause_start_ns - last_pause_end_ns_ : 0;
+    fleet_stall_seen_ = fleet_stall_accum_;
     const size_t made = policy_->OnPauseEnd(signals);
     metrics_.AddCounter("policy.decisions", made);
     policy_->ExportMetrics(&metrics_);
@@ -231,6 +278,12 @@ GcCycleStats Vm::CollectNow(GcKind kind) {
     }
     metrics_.SetGauge("fr.incidents", flight_recorder_->incidents());
   }
+
+  if (coordinator_ != nullptr) {
+    coordinator_->OnPauseFinished(options_.tenant_id, kind, pause_start_ns, clock_.now_ns(),
+                                  cycle.writeback_phase_ns);
+  }
+  last_pause_end_ns_ = clock_.now_ns();
 
   // Eden was reclaimed: every mutator's TLAB pointer is stale.
   for (auto& mutator : mutators_) {

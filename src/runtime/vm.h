@@ -31,6 +31,7 @@
 
 namespace nvmgc {
 
+class GcCoordinator;
 class Mutator;
 struct AllocRequest;
 
@@ -49,6 +50,19 @@ struct VmOptions {
   // GC flight recorder (always-on by default; see src/obs/flight_recorder.h).
   // Set flight_recorder.dump_dir to enable anomaly-triggered incident dumps.
   FlightRecorderOptions flight_recorder;
+
+  // --- Multi-tenant fleet mode (see src/fleet/fleet_manager.h) ---
+  // When set, the Vm runs against this externally owned heap device instead
+  // of creating a private one, and binds its heap arena to `tenant_id` on it
+  // so the device attributes traffic and contention per tenant. The device
+  // must outlive the Vm and match heap.heap_device's kind. Durability mode is
+  // single-tenant (the persist ledger tracks one arena) and is rejected in
+  // combination with a shared device.
+  MemoryDevice* shared_heap_device = nullptr;
+  // Tenant identity on the shared device: id < MemoryDevice::kMaxTenants,
+  // label used for traces and flight-recorder incident names.
+  uint32_t tenant_id = 0;
+  std::string tenant_label;
 };
 
 // A stable index into the VM's root table.
@@ -86,6 +100,19 @@ class Vm {
   GcCycleStats CollectNow(GcKind kind);
 
   uint64_t old_reclaim_count() const { return old_reclaim_count_; }
+
+  // Fleet pause coordination: when set, CollectNow consults the coordinator
+  // before pausing (it may defer the pause in simulated time) and reports
+  // every finished pause. The coordinator must outlive the Vm; pass nullptr
+  // to detach.
+  void set_gc_coordinator(GcCoordinator* coordinator) { coordinator_ = coordinator; }
+  uint32_t tenant_id() const { return options_.tenant_id; }
+  // Fleet bandwidth arbitration: records `ns` of simulated stall the arbiter
+  // injected into this tenant. The next pause's PolicySignals carry the
+  // accumulated stall (as a fraction of the inter-pause interval), letting
+  // the adaptive policy engine shed GC threads while the tenant is throttled.
+  void NoteFleetStall(uint64_t ns) { fleet_stall_accum_ += ns; }
+  uint64_t fleet_stall_ns() const { return fleet_stall_accum_; }
 
   // --- Accessors ---
   Heap& heap() { return *heap_; }
@@ -144,7 +171,10 @@ class Vm {
   void ExportLifetimeMetrics();
 
   VmOptions options_;
-  std::unique_ptr<MemoryDevice> heap_device_;
+  // Owned when options_.shared_heap_device is null; heap_device_ always
+  // points at the device in use (owned or shared).
+  std::unique_ptr<MemoryDevice> owned_heap_device_;
+  MemoryDevice* heap_device_ = nullptr;
   std::unique_ptr<MemoryDevice> dram_device_;
   std::unique_ptr<Heap> heap_;
   std::unique_ptr<GcThreadPool> pool_;
@@ -160,6 +190,11 @@ class Vm {
   // Policy decisions already handed to the flight recorder (index into
   // policy_->decisions()), so each pause record carries only its own.
   size_t policy_decisions_seen_ = 0;
+  GcCoordinator* coordinator_ = nullptr;
+  // Fleet-arbiter stall bookkeeping for PolicySignals (see NoteFleetStall).
+  uint64_t fleet_stall_accum_ = 0;
+  uint64_t fleet_stall_seen_ = 0;
+  uint64_t last_pause_end_ns_ = 0;
   uint64_t old_reclaim_count_ = 0;
   Mutator* default_mutator_ = nullptr;  // Lazily created by Allocate().
   std::deque<Address> root_cells_;
